@@ -1,0 +1,109 @@
+"""Claim C4 / Fig. 9 — hampering the 51 % attack with summary redundancy.
+
+Section V-B1: without redundancy, deleting old sequences leaves the newest
+summary block as the only confirmation of old data; embedding the middle
+sequence (or its Merkle root) in every new summary block restores at least
+l_β/2 confirmations, so *"the attacker has to run the attack for at least
+l_β/2 number of blocks"*.  Expected shape: without redundancy the attack
+success probability is independent of chain length; with redundancy it drops
+sharply as the chain grows, and the analytic and simulated numbers agree.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analytic_success_probability,
+    attack_resistance_table,
+    confirmation_depth,
+    simulate_attack,
+)
+from repro.core import RedundancyPolicy
+
+CHAIN_LENGTHS = [10, 50, 200]
+ATTACKER_SHARES = [0.2, 0.35, 0.45]
+
+
+def test_confirmation_depth_scales_with_chain_length(benchmark):
+    def sweep():
+        return [
+            (
+                confirmation_depth(length, RedundancyPolicy.NONE),
+                confirmation_depth(length, RedundancyPolicy.MIDDLE_MERKLE_ROOT),
+            )
+            for length in CHAIN_LENGTHS
+        ]
+
+    profiles = benchmark(sweep)
+    for (none, redundant), length in zip(profiles, CHAIN_LENGTHS):
+        assert none.blocks_to_rewrite == 1
+        assert redundant.blocks_to_rewrite == max(1, length // 2)
+    print()
+    print("chain_length blocks_to_rewrite(no redundancy) blocks_to_rewrite(middle sequence)")
+    for length in CHAIN_LENGTHS:
+        print(
+            f"{length:12d} {confirmation_depth(length, RedundancyPolicy.NONE).blocks_to_rewrite:31d} "
+            f"{confirmation_depth(length, RedundancyPolicy.MIDDLE_MERKLE_ROOT).blocks_to_rewrite:34d}"
+        )
+
+
+@pytest.mark.parametrize("attacker_share", ATTACKER_SHARES)
+def test_attack_simulation(benchmark, attacker_share):
+    depth = confirmation_depth(50, RedundancyPolicy.MIDDLE_MERKLE_ROOT).blocks_to_rewrite
+    outcome = benchmark.pedantic(
+        simulate_attack,
+        kwargs={
+            "attacker_share": attacker_share,
+            "blocks_to_rewrite": depth,
+            "trials": 500,
+            "seed": 11,
+        },
+        rounds=3,
+        iterations=1,
+    )
+    unprotected = simulate_attack(
+        attacker_share=attacker_share, blocks_to_rewrite=1, trials=500, seed=11
+    )
+    analytic = analytic_success_probability(attacker_share, depth)
+
+    # Shape: redundancy makes the attack much harder than rewriting one block,
+    # and the Monte-Carlo estimate tracks the analytic catch-up probability.
+    assert outcome.success_rate <= unprotected.success_rate
+    assert abs(outcome.success_rate - analytic) < 0.12
+
+    print()
+    print(
+        f"attacker share {attacker_share}: success without redundancy "
+        f"{unprotected.success_rate:.3f}, with middle-sequence redundancy "
+        f"{outcome.success_rate:.4f} (analytic {analytic:.4f})"
+    )
+
+
+def test_fig9_resistance_table(benchmark):
+    rows = benchmark.pedantic(
+        attack_resistance_table,
+        kwargs={"chain_lengths": [10, 50], "attacker_shares": [0.3, 0.45], "trials": 400},
+        rounds=1,
+        iterations=1,
+    )
+    protected = [row for row in rows if row["redundancy"] == 1.0]
+    unprotected = [row for row in rows if row["redundancy"] == 0.0]
+
+    # Shape of Fig. 9: for every attacker share, longer chains are harder to
+    # attack only when the redundancy is in place.
+    by_share = {}
+    for row in protected:
+        by_share.setdefault(row["attacker_share"], []).append(row)
+    for share, entries in by_share.items():
+        entries.sort(key=lambda row: row["chain_length"])
+        assert entries[-1]["simulated_success"] <= entries[0]["simulated_success"] + 0.05
+    assert all(row["blocks_to_rewrite"] == 1.0 for row in unprotected)
+
+    print()
+    print("chain_length attacker_share redundancy blocks_to_rewrite analytic simulated")
+    for row in rows:
+        print(
+            f"{int(row['chain_length']):12d} {row['attacker_share']:14.2f} "
+            f"{'middle-seq' if row['redundancy'] else 'none':10s} "
+            f"{int(row['blocks_to_rewrite']):17d} {row['analytic_success']:8.4f} "
+            f"{row['simulated_success']:9.4f}"
+        )

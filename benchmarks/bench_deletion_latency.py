@@ -1,0 +1,88 @@
+"""Claim C2 — deletion-request processing cost and delayed-deletion latency.
+
+Section IV-D states the complexity of processing a deletion request is
+*"linear and very low as blocks are referenced directly by number"*.  The
+benchmark measures (a) the time to submit and evaluate a deletion request at
+different chain sizes — expected shape: roughly flat, because the target is
+addressed directly by block number — and (b) the delay, in blocks, until a
+marked entry physically leaves the chain (Section IV-D3's delayed deletion).
+"""
+
+import pytest
+
+from repro.analysis import measure_deletion_latency
+from repro.core import Blockchain, ChainConfig, EntryReference, LengthUnit, RetentionPolicy, ShrinkStrategy
+
+from conftest import login
+
+CHAIN_SIZES = [30, 120, 480]
+
+
+def build_chain_without_shrinking(num_entries: int) -> Blockchain:
+    config = ChainConfig(sequence_length=3)  # no retention limit: worst case for lookup
+    chain = Blockchain(config)
+    for i in range(num_entries):
+        chain.add_entry_block(login("ALPHA", f"#{i}"), "ALPHA")
+    return chain
+
+
+@pytest.mark.parametrize("num_entries", CHAIN_SIZES)
+def test_deletion_request_cost(benchmark, num_entries):
+    chain = build_chain_without_shrinking(num_entries)
+    target_block = chain.blocks[1].block_number + 0  # first data block
+    counter = {"n": 0}
+
+    def submit_and_evaluate():
+        # Rotate over targets so repeated rounds do not hit registry caches.
+        offset = counter["n"] % num_entries
+        counter["n"] += 1
+        data_blocks = [b for b in chain.blocks if not b.is_summary and b.entry_count]
+        block = data_blocks[offset % len(data_blocks)]
+        decision = chain.request_deletion(EntryReference(block.block_number, 1), "ALPHA")
+        chain._pending.clear()  # do not let pending requests accumulate across rounds
+        return decision
+
+    decision = benchmark(submit_and_evaluate)
+    assert decision is not None
+    print()
+    print(
+        f"chain of {num_entries} entries ({chain.length} blocks): "
+        f"deletion evaluation benchmarked; last status={decision.status.value}"
+    )
+    assert target_block >= 1
+
+
+def test_delayed_deletion_latency_in_blocks(benchmark):
+    """How many blocks pass before a marked entry physically disappears."""
+
+    def run():
+        config = ChainConfig(
+            sequence_length=3,
+            retention=RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=2),
+            shrink_strategy=ShrinkStrategy.ALL_OLD,
+        )
+        chain = Blockchain(config)
+        chain.add_entry_block(login("ALPHA"), "ALPHA")
+        chain.request_deletion(EntryReference(1, 1), "ALPHA")
+        chain.seal_block()
+        waited = 0
+        while chain.find_entry(EntryReference(1, 1)) is not None:
+            chain.add_entry_block(login("BRAVO"), "BRAVO")
+            waited += 1
+        return chain, waited
+
+    chain, waited = benchmark.pedantic(run, rounds=5, iterations=1)
+    latencies = measure_deletion_latency(chain)
+
+    # Shape: the deletion executes within a small, bounded number of blocks —
+    # at most two full retention windows of the paper configuration.
+    assert waited <= 18
+    assert latencies and all(latency.blocks_waited <= 18 for latency in latencies)
+
+    print()
+    print(f"blocks until physical deletion: {waited}")
+    for latency in latencies:
+        print(
+            f"requested at block {latency.requested_at_block}, executed at block "
+            f"{latency.executed_at_block} ({latency.blocks_waited} blocks waited)"
+        )

@@ -1,0 +1,40 @@
+"""Fig. 6 — console state after three logins.
+
+Regenerates the first console dump of the evaluation: Genesis Block 0 with
+previous hash ``DEADB``, the first two summary blocks empty, one entry each
+for ALPHA, BRAVO and CHARLIE in blocks 1, 3 and 4, nothing deleted yet.  The
+benchmark times the full scenario (entry signing, sealing, automatic summary
+creation) and asserts the exact block layout of the figure.
+"""
+
+from repro.analysis import render_chain
+from repro.crypto.hashing import GENESIS_PREVIOUS_HASH
+
+from conftest import login, make_paper_chain
+
+
+def run_fig6_scenario():
+    chain = make_paper_chain()
+    for user in ("ALPHA", "BRAVO", "CHARLIE"):
+        chain.add_entry_block(login(user), user)
+    return chain
+
+
+def test_fig6_three_logins(benchmark):
+    chain = benchmark(run_fig6_scenario)
+
+    # Shape of Fig. 6: genesis 0 / DEADB, entries in blocks 1, 3, 4,
+    # empty summary blocks at 2 and 5, nothing deleted, marker at 0.
+    assert chain.blocks[0].block_number == 0
+    assert chain.blocks[0].previous_hash == GENESIS_PREVIOUS_HASH
+    assert chain.block_by_number(1).entries[0].author == "ALPHA"
+    assert chain.block_by_number(3).entries[0].author == "BRAVO"
+    assert chain.block_by_number(4).entries[0].author == "CHARLIE"
+    assert chain.block_by_number(2).is_summary and chain.block_by_number(2).entry_count == 0
+    assert chain.block_by_number(5).is_summary and chain.block_by_number(5).entry_count == 0
+    assert chain.genesis_marker == 0
+    assert chain.deleted_block_count == 0
+    chain.validate(verify_signatures=True)
+
+    print()
+    print(render_chain(chain, header="Fig. 6 regenerated"))

@@ -1,0 +1,44 @@
+"""Fig. 7 — deletion request, sequence merge and genesis-marker shift.
+
+Regenerates the second console dump: BRAVO's deletion request for
+(block 3, entry 1) lands in block 6, the first two sequences are merged into
+the summary block at 8 without the deleted entry, the genesis marker moves to
+block 6 and all earlier blocks are physically removed.
+"""
+
+from repro.analysis import render_chain
+from repro.core import EntryReference
+
+from conftest import login, make_paper_chain
+
+
+def run_fig7_scenario():
+    chain = make_paper_chain()
+    for user in ("ALPHA", "BRAVO", "CHARLIE"):
+        chain.add_entry_block(login(user), user)
+    chain.request_deletion(EntryReference(3, 1), "BRAVO")
+    chain.seal_block()                                   # block 6
+    chain.add_entry_block(login("ALPHA", "(cycle 1)"), "ALPHA")  # block 7 -> summary 8
+    return chain
+
+
+def test_fig7_selective_deletion(benchmark):
+    chain = benchmark(run_fig7_scenario)
+
+    # Shape of Fig. 7: the request was approved, the marker moved to block 6,
+    # six blocks were cut off, the deleted entry was not carried forward while
+    # ALPHA's and CHARLIE's entries were.
+    assert chain.registry.approved_count == 1
+    assert chain.genesis_marker == 6
+    assert chain.deleted_block_count == 6
+    summary = chain.block_by_number(8)
+    assert summary.is_summary
+    assert summary.merged_sequences == [0, 1]
+    assert summary.find_copy_of(3, 1) is None
+    assert summary.find_copy_of(1, 1) is not None
+    assert summary.find_copy_of(4, 1) is not None
+    assert chain.find_entry(EntryReference(3, 1)) is None
+    chain.validate(verify_signatures=True)
+
+    print()
+    print(render_chain(chain, header="Fig. 7 regenerated"))

@@ -1,0 +1,36 @@
+"""Fig. 8 — one summarisation cycle ahead: the deletion request disappears.
+
+Deletion entries are never copied into summary blocks, so one cycle after
+Fig. 7 the living chain contains neither BRAVO's deleted login nor the
+deletion request itself, while every other login survives as a summary copy.
+"""
+
+from repro.analysis import render_chain
+from repro.core import EntryReference
+from repro.workloads import PaperScenarioWorkload, replay
+
+from conftest import make_paper_chain
+
+
+def run_fig8_scenario():
+    chain = make_paper_chain()
+    replay(PaperScenarioWorkload(extra_cycles=2), chain)
+    return chain
+
+
+def test_fig8_deletion_request_forgotten(benchmark):
+    chain = benchmark(run_fig8_scenario)
+
+    # Shape of Fig. 8: at least two marker shifts have happened, no deletion
+    # request is stored anywhere in the living chain, the deleted entry stays
+    # gone and the other original logins are still retrievable.
+    assert chain.genesis_marker >= 12
+    assert all(not entry.is_deletion_request for _, entry in chain.iter_entries())
+    assert chain.find_entry(EntryReference(3, 1)) is None
+    assert chain.find_entry(EntryReference(1, 1)) is not None
+    assert chain.find_entry(EntryReference(4, 1)) is not None
+    assert chain.registry.executed_count == 1
+    chain.validate(verify_signatures=True)
+
+    print()
+    print(render_chain(chain, header="Fig. 8 regenerated"))

@@ -1,0 +1,104 @@
+"""Claim C3 — summary-block size and the Merkle-reference mitigation.
+
+Section V-B2 acknowledges that summary blocks *"become larger over time"* and
+proposes *"working with hash references"* so data packets are stored
+separately and only linked.  The benchmark measures summary-block sizes under
+both modes while sweeping the retained-data fraction.  Expected shape: in
+FULL_COPY mode the summary block grows with the amount of retained data; in
+MERKLE_REFERENCE mode it stays small and near-constant; deleting a larger
+fraction of the data shrinks the FULL_COPY summary accordingly.
+"""
+
+import pytest
+
+from repro.analysis import summary_size_profile
+from repro.core import (
+    Blockchain,
+    ChainConfig,
+    EntryReference,
+    LengthUnit,
+    RetentionPolicy,
+    ShrinkStrategy,
+    SummaryMode,
+)
+
+from conftest import login
+
+RETAINED_FRACTIONS = [1.0, 0.5, 0.1]
+
+
+def build_chain(summary_mode: SummaryMode, retained_fraction: float) -> Blockchain:
+    config = ChainConfig(
+        sequence_length=4,
+        retention=RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=2),
+        shrink_strategy=ShrinkStrategy.ALL_OLD,
+        summary_mode=summary_mode,
+    )
+    chain = Blockchain(config)
+    written = []
+    for i in range(24):
+        block = chain.add_entry_block(login("ALPHA", f"payload-{i:04d} " + "x" * 120), "ALPHA")
+        written.append(EntryReference(block.block_number, 1))
+        # Delete a fraction of the freshly written entries so less data is
+        # carried forward into the summary blocks.
+        if retained_fraction < 1.0 and (i % max(1, int(1 / (1 - retained_fraction)))) == 0:
+            chain.request_deletion(written[-1], "ALPHA")
+            chain.seal_block()
+    return chain
+
+
+@pytest.mark.parametrize("retained_fraction", RETAINED_FRACTIONS)
+def test_summary_size_full_copy(benchmark, retained_fraction):
+    chain = benchmark.pedantic(
+        build_chain, args=(SummaryMode.FULL_COPY, retained_fraction), rounds=3, iterations=1
+    )
+    profile = summary_size_profile(chain)
+    merging = [sample for sample in profile if sample.merged_sequences]
+    assert merging, "at least one summary block must have merged sequences"
+    largest = max(sample.byte_size for sample in merging)
+    print()
+    print(
+        f"FULL_COPY retained={retained_fraction}: largest merging summary block "
+        f"{largest} bytes, carried entries up to {max(s.carried_entries for s in merging)}"
+    )
+
+
+def test_summary_size_merkle_reference_stays_small(benchmark):
+    full = build_chain(SummaryMode.FULL_COPY, 1.0)
+    reference_chain = benchmark.pedantic(
+        build_chain, args=(SummaryMode.MERKLE_REFERENCE, 1.0), rounds=3, iterations=1
+    )
+    full_profile = [s for s in summary_size_profile(full) if s.merged_sequences]
+    ref_profile = [s for s in summary_size_profile(reference_chain) if s.merged_sequences]
+    assert full_profile and ref_profile
+    largest_full = max(sample.byte_size for sample in full_profile)
+    largest_ref = max(sample.byte_size for sample in ref_profile)
+
+    # Shape of the paper's mitigation: hash references keep summary blocks
+    # much smaller than full copies of the retained data.
+    assert largest_ref < largest_full
+    assert all(sample.carried_entries == 0 for sample in ref_profile)
+
+    print()
+    print(
+        f"largest merging summary block: FULL_COPY={largest_full} bytes, "
+        f"MERKLE_REFERENCE={largest_ref} bytes "
+        f"({largest_full / largest_ref:.1f}x smaller with hash references)"
+    )
+
+
+def test_deleting_more_data_shrinks_summaries(benchmark):
+    def sweep():
+        results = {}
+        for fraction in RETAINED_FRACTIONS:
+            chain = build_chain(SummaryMode.FULL_COPY, fraction)
+            merging = [s for s in summary_size_profile(chain) if s.merged_sequences]
+            results[fraction] = max(sample.byte_size for sample in merging)
+        return results
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Shape: retaining less data produces smaller summary blocks.
+    assert sizes[0.1] < sizes[1.0]
+    print()
+    for fraction, size in sorted(sizes.items()):
+        print(f"retained fraction {fraction}: largest merging summary block {size} bytes")

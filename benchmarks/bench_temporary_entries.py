@@ -1,0 +1,95 @@
+"""Claim C7 — temporary entries clean themselves up (Section IV-D4).
+
+Entries carrying a maximum storage time τ or block number α are not copied
+into new summary blocks once expired, *"without additional authorization
+needed"*.  The benchmark replays the Industry-4.0 supply-chain workload with
+short shelf lives and measures how much of the written data the chain has
+already forgotten on its own.  Expected shape: with a shelf life much shorter
+than the run, most stage records are dropped automatically; with an unlimited
+shelf life nothing is dropped for expiry reasons.
+"""
+
+import pytest
+
+from repro.core import Blockchain, ChainConfig, LengthUnit, RetentionPolicy, ShrinkStrategy
+from repro.workloads import SupplyChainWorkload, replay
+
+SHELF_LIVES = [20, 100_000]
+
+
+def build_config() -> ChainConfig:
+    return ChainConfig(
+        sequence_length=4,
+        retention=RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=3),
+        shrink_strategy=ShrinkStrategy.TO_LIMIT,
+    )
+
+
+@pytest.mark.parametrize("shelf_life", SHELF_LIVES)
+def test_temporary_entries_expire(benchmark, shelf_life):
+    def run():
+        chain = Blockchain(build_config())
+        workload = SupplyChainWorkload(num_products=30, shelf_life_ticks=shelf_life, seed=7)
+        result = replay(workload, chain)
+        return chain, result
+
+    chain, result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    living_stage_entries = sum(
+        1 for _, entry in chain.iter_entries() if entry.data.get("product") and not entry.is_deletion_request
+    )
+
+    print()
+    print(
+        f"shelf life {shelf_life} ticks: {result.entries} stage entries written, "
+        f"{living_stage_entries} still on the living chain, "
+        f"{chain.deleted_entry_count} dropped at summarisation"
+    )
+
+    if shelf_life == SHELF_LIVES[0]:
+        # Short shelf life: the chain must have forgotten a large share of the
+        # records automatically (no deletion requests were ever submitted).
+        assert chain.deleted_entry_count > result.entries * 0.3
+        assert chain.registry.approved_count == 0
+    else:
+        # Unlimited shelf life: every carried-forward record is retained; the
+        # only "loss" is none at all, since nothing expired.
+        assert living_stage_entries >= result.entries * 0.9
+
+
+def test_expired_versus_persistent_entries_side_by_side(benchmark):
+    def run():
+        chain = Blockchain(build_config())
+        expiring = []
+        persistent = []
+        for i in range(30):
+            block = chain.add_entry_block(
+                {"D": f"ephemeral {i}", "K": "SENSOR", "S": "sig_SENSOR"},
+                "SENSOR",
+                expires_at_block=10,
+            )
+            expiring.append(block.block_number)
+            block = chain.add_entry_block(
+                {"D": f"durable {i}", "K": "SENSOR", "S": "sig_SENSOR"}, "SENSOR"
+            )
+            persistent.append(block.block_number)
+        return chain, expiring, persistent
+
+    chain, expiring, persistent = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    from repro.core import EntryReference
+
+    expired_gone = sum(
+        1 for number in expiring if chain.find_entry(EntryReference(number, 1)) is None
+    )
+    durable_gone = sum(
+        1 for number in persistent if chain.find_entry(EntryReference(number, 1)) is None
+    )
+    # Shape: expired temporary entries vanish, persistent ones survive in full.
+    assert expired_gone > len(expiring) * 0.5
+    assert durable_gone == 0
+    print()
+    print(
+        f"{expired_gone}/{len(expiring)} temporary entries forgotten automatically, "
+        f"{durable_gone}/{len(persistent)} persistent entries lost"
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Industry-4.0 product life-cycle management (Section VI).
+
+Production stages of every product are logged to the chain as temporary
+entries carrying a best-before expiry.  Once a product's shelf life is over,
+its records are not copied into new summary blocks and disappear from the
+chain automatically — no deletion requests, no administrator involvement.
+
+Run with::
+
+    python examples/supply_chain_plm.py
+"""
+
+from repro import Blockchain, ChainConfig, LengthUnit, RetentionPolicy, ShrinkStrategy
+from repro.analysis import render_statistics
+from repro.workloads import SupplyChainWorkload, replay
+
+
+def main() -> None:
+    config = ChainConfig(
+        sequence_length=5,
+        retention=RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=3),
+        shrink_strategy=ShrinkStrategy.TO_LIMIT,
+        empty_block_interval=10,
+    )
+    chain = Blockchain(config)
+
+    workload = SupplyChainWorkload(
+        num_products=40,
+        shelf_life_ticks=60,
+        stations=6,
+        seed=7,
+    )
+    result = replay(workload, chain)
+
+    print("Industry-4.0 product tracking with automatic clean-up")
+    print("----------------------------------------------------")
+    print(f"production stage entries written: {result.entries}")
+    print(f"blocks sealed:                    {result.blocks_sealed}")
+    print(f"entries expired and dropped:      {chain.deleted_entry_count}")
+    print(f"blocks physically deleted:        {chain.deleted_block_count}")
+    print()
+
+    living_products = {
+        entry.data.get("product")
+        for _, entry in chain.iter_entries()
+        if entry.data.get("product")
+    }
+    print(f"products still traceable on the living chain: {len(living_products)}")
+    print(f"living chain length: {chain.length} blocks (bounded by the retention policy)")
+    print()
+    print(render_statistics(chain))
+
+    chain.validate()
+    print("\nchain validated: expired best-before data was forgotten automatically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+The environment is offline and ships setuptools 65 without ``wheel``; the
+PEP 517 editable path requires ``bdist_wheel``, so we keep a classic
+``setup.py`` to allow ``pip install -e . --no-use-pep517`` and plain
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Analysis utilities: metrics, the 51 %-attack model, reports, comparisons."""
+
+from repro.analysis.attack import (
+    AttackOutcome,
+    ConfirmationProfile,
+    analytic_success_probability,
+    attack_resistance_table,
+    confirmation_depth,
+    simulate_attack,
+)
+from repro.analysis.compare import ComparisonRow, default_systems, run_comparison
+from repro.analysis.recovery import RecoveryReport, analyze_lost_coins, recoverable_after_deletion
+from repro.analysis.metrics import (
+    DeletionLatency,
+    GrowthPoint,
+    SummarySizeSample,
+    deletion_effectiveness,
+    final_reduction_factor,
+    growth_curve,
+    measure_deletion_latency,
+    peak_living_blocks,
+    summary_size_profile,
+)
+from repro.analysis.report import (
+    render_block,
+    render_chain,
+    render_comparison_table,
+    render_events,
+    render_statistics,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "ConfirmationProfile",
+    "analytic_success_probability",
+    "attack_resistance_table",
+    "confirmation_depth",
+    "simulate_attack",
+    "ComparisonRow",
+    "default_systems",
+    "run_comparison",
+    "RecoveryReport",
+    "analyze_lost_coins",
+    "recoverable_after_deletion",
+    "DeletionLatency",
+    "GrowthPoint",
+    "SummarySizeSample",
+    "deletion_effectiveness",
+    "final_reduction_factor",
+    "growth_curve",
+    "measure_deletion_latency",
+    "peak_living_blocks",
+    "summary_size_profile",
+    "render_block",
+    "render_chain",
+    "render_comparison_table",
+    "render_events",
+    "render_statistics",
+]

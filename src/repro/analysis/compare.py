@@ -1,0 +1,118 @@
+"""Cross-system comparison harness (claim C5).
+
+Runs the same GDPR-style workload — write records, later erase a fraction of
+them — against the selective-deletion chain and every Section III baseline,
+then collects storage, retrievability and effort into one comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.base import BaselineSystem, RecordRef
+from repro.baselines.chameleon_chain import RedactableChain
+from repro.baselines.full_chain import ImmutableChain
+from repro.baselines.hard_fork import HardForkChain
+from repro.baselines.offchain import OffChainStore
+from repro.baselines.pruning import LocalPruningNode
+from repro.baselines.selective import SelectiveDeletionSystem
+from repro.workloads.gdpr import GdprErasureWorkload
+
+
+@dataclass
+class ComparisonRow:
+    """Measured behaviour of one system under the comparison workload."""
+
+    system: str
+    records_written: int
+    erasures_requested: int
+    erasures_effective: int
+    records_still_readable: int
+    storage_bytes: int
+    erasure_effort: float
+    capabilities: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Row in plain-dict form for table rendering."""
+        return {
+            "system": self.system,
+            "records": self.records_written,
+            "erasures": self.erasures_requested,
+            "effective": self.erasures_effective,
+            "readable": self.records_still_readable,
+            "storage_bytes": self.storage_bytes,
+            "effort": round(self.erasure_effort, 1),
+            "selective": self.capabilities.get("selective_deletion", False),
+            "global": self.capabilities.get("global_effect", False),
+            "trapdoor": self.capabilities.get("requires_trapdoor_holder", False),
+        }
+
+
+def default_systems() -> list[BaselineSystem]:
+    """The paper's system plus every Section III baseline."""
+    return [
+        SelectiveDeletionSystem(),
+        ImmutableChain(),
+        LocalPruningNode(keep_recent=50),
+        HardForkChain(),
+        RedactableChain(),
+        OffChainStore(),
+    ]
+
+
+def run_comparison(
+    *,
+    systems: Sequence[BaselineSystem] | None = None,
+    num_records: int = 120,
+    erasure_probability: float = 0.3,
+    seed: int = 99,
+) -> list[ComparisonRow]:
+    """Drive the GDPR workload through every system and collect a table."""
+    workload = GdprErasureWorkload(
+        num_records=num_records,
+        erasure_probability=erasure_probability,
+        seed=seed,
+    )
+    cases = workload.cases()
+    rows: list[ComparisonRow] = []
+    for system in systems if systems is not None else default_systems():
+        references: list[RecordRef] = []
+        erasures = 0
+        effective = 0
+        effort = 0.0
+        for case in cases:
+            references.append(
+                system.append_record(
+                    {
+                        "D": f"personal data of {case.subject} (record {case.record_index})",
+                        "K": case.subject,
+                        "S": f"sig_{case.subject}",
+                    },
+                    case.subject,
+                )
+            )
+        for case in cases:
+            if case.erase_after is None:
+                continue
+            outcome = system.request_erasure(references[case.record_index], case.subject)
+            erasures += 1
+            effort += outcome.effort_units
+            if outcome.globally_effective:
+                effective += 1
+        if isinstance(system, SelectiveDeletionSystem):
+            system.drain_retention()
+        readable = sum(1 for reference in references if system.record_retrievable(reference))
+        rows.append(
+            ComparisonRow(
+                system=system.name,
+                records_written=len(references),
+                erasures_requested=erasures,
+                erasures_effective=effective,
+                records_still_readable=readable,
+                storage_bytes=system.storage_bytes(),
+                erasure_effort=effort,
+                capabilities=system.capabilities(),
+            )
+        )
+    return rows

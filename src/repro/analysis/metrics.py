@@ -1,0 +1,132 @@
+"""Storage and deletion metrics.
+
+These helpers turn raw chain state and replay results into the numbers the
+evaluation claims are about: bounded chain growth (claim C1), deletion
+latency in blocks (claim C2) and summary-block size (claim C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.chain import Blockchain
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One sample of a growth curve."""
+
+    blocks_created: int
+    living_blocks: int
+    living_bytes: int
+
+
+def growth_curve(samples: Sequence[tuple[int, int]], sizes: Sequence[tuple[int, int]]) -> list[GrowthPoint]:
+    """Merge length and size series from a replay into growth points."""
+    merged: list[GrowthPoint] = []
+    for (created_a, living), (created_b, size) in zip(samples, sizes):
+        merged.append(
+            GrowthPoint(
+                blocks_created=max(created_a, created_b),
+                living_blocks=living,
+                living_bytes=size,
+            )
+        )
+    return merged
+
+
+def peak_living_blocks(curve: Sequence[GrowthPoint]) -> int:
+    """Highest number of living blocks observed along a growth curve."""
+    return max((point.living_blocks for point in curve), default=0)
+
+
+def final_reduction_factor(
+    selective_bytes: int,
+    baseline_bytes: int,
+) -> float:
+    """How much smaller the selective-deletion chain is than the baseline."""
+    if selective_bytes <= 0:
+        return float("inf") if baseline_bytes > 0 else 1.0
+    return baseline_bytes / selective_bytes
+
+
+@dataclass(frozen=True)
+class DeletionLatency:
+    """Latency of one deletion, measured in blocks and clock ticks."""
+
+    requested_at_block: int
+    executed_at_block: int
+    blocks_waited: int
+
+
+def measure_deletion_latency(chain: Blockchain) -> list[DeletionLatency]:
+    """Extract per-deletion latencies from the chain's event log.
+
+    Approximates the execution point by the marker-shift event that removed
+    the target's sequence; the delay is what Section IV-D3 calls *delayed
+    deletion* and what the empty-block mechanism bounds.
+    """
+    requests: dict[str, int] = {}
+    latencies: list[DeletionLatency] = []
+    marker_shifts: list[tuple[int, int]] = []
+    for event in chain.events:
+        if event.kind in ("deletion-approved",):
+            requests[event.detail] = event.block_number
+        elif event.kind == "marker-shift":
+            marker_shifts.append((event.block_number, chain.genesis_marker))
+    for detail, requested_at in requests.items():
+        executed_at: Optional[int] = None
+        for shift_block, _ in marker_shifts:
+            if shift_block >= requested_at:
+                executed_at = shift_block
+                break
+        if executed_at is not None:
+            latencies.append(
+                DeletionLatency(
+                    requested_at_block=requested_at,
+                    executed_at_block=executed_at,
+                    blocks_waited=executed_at - requested_at,
+                )
+            )
+    return latencies
+
+
+@dataclass(frozen=True)
+class SummarySizeSample:
+    """Size of one summary block and the data it absorbed."""
+
+    block_number: int
+    byte_size: int
+    carried_entries: int
+    merged_sequences: int
+
+
+def summary_size_profile(chain: Blockchain) -> list[SummarySizeSample]:
+    """Sizes of all living summary blocks (claim C3, Section V-B2)."""
+    profile: list[SummarySizeSample] = []
+    for block in chain.blocks:
+        if not block.is_summary:
+            continue
+        profile.append(
+            SummarySizeSample(
+                block_number=block.block_number,
+                byte_size=block.byte_size(),
+                carried_entries=block.entry_count,
+                merged_sequences=len(block.merged_sequences),
+            )
+        )
+    return profile
+
+
+def deletion_effectiveness(chain: Blockchain) -> dict[str, float]:
+    """Ratios summarising how many approved deletions already took effect."""
+    stats = chain.registry.statistics()
+    approved = stats["approved"]
+    executed = stats["executed"]
+    return {
+        "approved": float(approved),
+        "executed": float(executed),
+        "pending": float(approved - executed),
+        "execution_ratio": (executed / approved) if approved else 1.0,
+    }

@@ -1,0 +1,108 @@
+"""Console rendering of the chain state — the format of Figs. 6-8.
+
+The paper's evaluation presents the blockchain as console output: one header
+line per block (*"block number; timestamp; previous block hash; own block
+hash"*) followed by its entries (*"D stores data record; K holds the user; S
+poses as signature"*), with summary blocks prefixed by ``S``.  This module
+regenerates that view plus a compact statistics footer used by the examples
+and the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.block import Block
+from repro.core.chain import Blockchain
+
+
+def render_block(block: Block, *, hash_length: int = 5, indent: str = "    ") -> str:
+    """Render one block with its entries, as in the paper's console dumps."""
+    lines = [block.display(hash_length=hash_length)]
+    for entry in block.entries:
+        lines.append(f"{indent}{entry.display()}")
+    if block.merged_sequences:
+        lines.append(f"{indent}[merged sequences: {', '.join(map(str, block.merged_sequences))}]")
+    for record in block.redundancy:
+        lines.append(
+            f"{indent}[redundancy: sequence {record.sequence_index} "
+            f"blocks {record.first_block_number}-{record.last_block_number}]"
+        )
+    for reference in block.summary_references:
+        if isinstance(reference, dict) and reference.get("kind") == "poa-seal":
+            lines.append(f"{indent}[sealed by {reference.get('sealer')}]")
+        elif isinstance(reference, dict) and "merkle_root" in reference:
+            lines.append(
+                f"{indent}[off-chain reference: sequence {reference.get('sequence_index')} "
+                f"({reference.get('entry_count')} entries)]"
+            )
+    return "\n".join(lines)
+
+
+def render_chain(chain: Blockchain, *, hash_length: int = 5, header: str = "") -> str:
+    """Render the full living chain in the style of Figs. 6-8."""
+    lines: list[str] = []
+    if header:
+        lines.append(f"=== {header} ===")
+    lines.append(
+        f"genesis marker m -> block {chain.genesis_marker}; "
+        f"living blocks: {chain.length}; deleted blocks: {chain.deleted_block_count}"
+    )
+    for block in chain.blocks:
+        lines.append(render_block(block, hash_length=hash_length))
+    return "\n".join(lines)
+
+
+def render_statistics(chain: Blockchain) -> str:
+    """Compact statistics footer used by the examples."""
+    stats = chain.statistics()
+    deletions = stats["deletions"]
+    return "\n".join(
+        [
+            "--- chain statistics ---",
+            f"living blocks:        {stats['living_blocks']}",
+            f"living entries:       {stats['living_entries']}",
+            f"blocks ever created:  {stats['total_blocks_created']}",
+            f"blocks deleted:       {stats['deleted_blocks']}",
+            f"entries dropped:      {stats['dropped_entries']}",
+            f"genesis marker:       {stats['genesis_marker']}",
+            f"approx. size (bytes): {stats['byte_size']}",
+            (
+                "deletions:            "
+                f"{deletions['approved']} approved, {deletions['rejected']} rejected, "
+                f"{deletions['executed']} executed"
+            ),
+        ]
+    )
+
+
+def render_events(chain: Blockchain, *, kinds: Iterable[str] = ()) -> str:
+    """Render the audit trail (marker shifts, merges, deletions)."""
+    wanted = set(kinds)
+    lines = ["--- chain events ---"]
+    for event in chain.events:
+        if wanted and event.kind not in wanted:
+            continue
+        lines.append(str(event))
+    return "\n".join(lines)
+
+
+def render_comparison_table(rows: list[dict], *, columns: list[str], title: str = "") -> str:
+    """Render a list of dict rows as a fixed-width console table."""
+    if not rows:
+        return title
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Brewer-Nash ("Chinese Wall") automatic cohesion model.
+
+The second automatic model Section IV-D2 proposes.  Entries belong to
+*datasets* of *conflict-of-interest classes*; once a subject has accessed a
+dataset of a class, it may no longer access — and in particular may not
+trigger deletions in — any other dataset of the same class.  This prevents a
+participant from selectively erasing the records of a competitor after
+having worked with its own records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.chain import Blockchain, CohesionChecker
+from repro.core.entry import EntryReference
+from repro.core.errors import AuthorizationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A company dataset inside a conflict-of-interest class."""
+
+    name: str
+    conflict_class: str
+
+
+@dataclass
+class BrewerNashModel:
+    """Chinese-Wall access tracking for deletion decisions."""
+
+    datasets: dict[str, Dataset] = field(default_factory=dict)
+    entry_dataset: dict[tuple[int, int], str] = field(default_factory=dict)
+    access_history: dict[str, set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register_dataset(self, name: str, conflict_class: str) -> Dataset:
+        """Declare a dataset inside a conflict-of-interest class."""
+        dataset = Dataset(name=name, conflict_class=conflict_class)
+        self.datasets[name] = dataset
+        return dataset
+
+    def tag_entry(self, reference: EntryReference, dataset_name: str) -> None:
+        """Attach an entry to a dataset."""
+        if dataset_name not in self.datasets:
+            raise AuthorizationError(f"unknown dataset {dataset_name!r}")
+        self.entry_dataset[(reference.block_number, reference.entry_number)] = dataset_name
+
+    def dataset_of(self, reference: EntryReference) -> Optional[Dataset]:
+        """Dataset an entry belongs to, if tagged."""
+        name = self.entry_dataset.get((reference.block_number, reference.entry_number))
+        return self.datasets.get(name) if name else None
+
+    # ------------------------------------------------------------------ #
+    # Chinese-Wall rule
+    # ------------------------------------------------------------------ #
+
+    def record_access(self, subject: str, dataset_name: str) -> None:
+        """Note that ``subject`` has worked with ``dataset_name``."""
+        if dataset_name not in self.datasets:
+            raise AuthorizationError(f"unknown dataset {dataset_name!r}")
+        self.access_history.setdefault(subject, set()).add(dataset_name)
+
+    def may_access(self, subject: str, dataset_name: str) -> bool:
+        """Simple-security rule of Brewer-Nash.
+
+        Access is allowed when the subject has not yet touched a *different*
+        dataset in the same conflict class.
+        """
+        dataset = self.datasets.get(dataset_name)
+        if dataset is None:
+            return False
+        for accessed_name in self.access_history.get(subject, set()):
+            accessed = self.datasets[accessed_name]
+            if accessed.conflict_class == dataset.conflict_class and accessed.name != dataset.name:
+                return False
+        return True
+
+    def may_delete(self, subject: str, reference: EntryReference) -> bool:
+        """Deletion is only permitted inside datasets the wall allows."""
+        dataset = self.dataset_of(reference)
+        if dataset is None:
+            return True  # untagged entries are outside any wall
+        return self.may_access(subject, dataset.name)
+
+    # ------------------------------------------------------------------ #
+    # Chain integration
+    # ------------------------------------------------------------------ #
+
+    def as_cohesion_checker(self) -> CohesionChecker:
+        """Cohesion checker enforcing the Chinese Wall on deletion requests."""
+
+        def checker(target: EntryReference, chain: Blockchain, requester: str) -> tuple[bool, str]:
+            dataset = self.dataset_of(target)
+            if dataset is None:
+                return True, "entry is not governed by a conflict-of-interest class"
+            if self.may_delete(requester, target):
+                self.record_access(requester, dataset.name)
+                return True, f"access to dataset {dataset.name!r} is on the requester's side of the wall"
+            return False, (
+                f"{requester!r} already accessed a competing dataset in class "
+                f"{dataset.conflict_class!r}"
+            )
+
+        return checker

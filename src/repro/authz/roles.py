@@ -1,0 +1,146 @@
+"""Role-based authorization.
+
+Section IV-D1: *"For authorization of privileges, it can be applied a
+role-based concept with corresponding user signatures. ... the anchor nodes
+of the quorum work together as a basis of trust and are jointly granted full
+administrative privileges.  These receive a master signature. ... a user is
+only allowed to submit delete requests for his own transactions."*
+
+This module provides the role model (user, auditor, admin/quorum), the
+permission catalogue, and an :class:`AccessController` that plugs into the
+chain façade as its deletion authorizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.core.deletion import Authorizer
+from repro.core.entry import Entry
+from repro.core.errors import AuthorizationError
+
+
+class Role(str, Enum):
+    """Roles known to the access controller."""
+
+    #: Ordinary participant: may submit entries and delete own entries.
+    USER = "user"
+    #: Read-everything role for compliance audits; may not delete anything.
+    AUDITOR = "auditor"
+    #: Quorum member holding the master signature; may delete foreign entries.
+    ADMIN = "admin"
+
+
+class Permission(str, Enum):
+    """Actions the controller can be asked about."""
+
+    SUBMIT_ENTRY = "submit_entry"
+    READ_CHAIN = "read_chain"
+    DELETE_OWN = "delete_own"
+    DELETE_FOREIGN = "delete_foreign"
+    SHIFT_MARKER = "shift_marker"
+
+
+#: Default permission matrix; deployments can override per instance.
+DEFAULT_ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
+    Role.USER: frozenset({Permission.SUBMIT_ENTRY, Permission.READ_CHAIN, Permission.DELETE_OWN}),
+    Role.AUDITOR: frozenset({Permission.READ_CHAIN}),
+    Role.ADMIN: frozenset(
+        {
+            Permission.SUBMIT_ENTRY,
+            Permission.READ_CHAIN,
+            Permission.DELETE_OWN,
+            Permission.DELETE_FOREIGN,
+            Permission.SHIFT_MARKER,
+        }
+    ),
+}
+
+
+@dataclass
+class AccessController:
+    """Assigns roles to participants and answers permission questions."""
+
+    assignments: dict[str, Role] = field(default_factory=dict)
+    permissions: dict[Role, frozenset[Permission]] = field(
+        default_factory=lambda: dict(DEFAULT_ROLE_PERMISSIONS)
+    )
+    default_role: Optional[Role] = Role.USER
+
+    # ------------------------------------------------------------------ #
+    # Role management
+    # ------------------------------------------------------------------ #
+
+    def assign(self, participant: str, role: Role) -> None:
+        """Give ``participant`` the given role."""
+        self.assignments[participant] = role
+
+    def assign_admins(self, participants: Iterable[str]) -> None:
+        """Grant the quorum master signature (ADMIN role) to several nodes."""
+        for participant in participants:
+            self.assign(participant, Role.ADMIN)
+
+    def role_of(self, participant: str) -> Role:
+        """Role of a participant (falls back to the default role)."""
+        role = self.assignments.get(participant, self.default_role)
+        if role is None:
+            raise AuthorizationError(f"participant {participant!r} has no role assigned")
+        return role
+
+    # ------------------------------------------------------------------ #
+    # Permission checks
+    # ------------------------------------------------------------------ #
+
+    def has_permission(self, participant: str, permission: Permission) -> bool:
+        """True when the participant's role grants the permission."""
+        try:
+            role = self.role_of(participant)
+        except AuthorizationError:
+            return False
+        return permission in self.permissions.get(role, frozenset())
+
+    def require(self, participant: str, permission: Permission) -> None:
+        """Raise :class:`AuthorizationError` unless the permission is granted."""
+        if not self.has_permission(participant, permission):
+            raise AuthorizationError(
+                f"{participant!r} ({self.role_of(participant).value}) lacks permission {permission.value}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Deletion authorizer (plugs into Blockchain)
+    # ------------------------------------------------------------------ #
+
+    def deletion_authorizer(self) -> Authorizer:
+        """Build the deletion authorization hook for :class:`Blockchain`.
+
+        Implements the paper's rule: own entries are deletable with
+        ``DELETE_OWN``; foreign entries require ``DELETE_FOREIGN`` (the
+        quorum master signature).
+        """
+
+        def authorize(request: Entry, target: Entry) -> tuple[bool, str]:
+            same_signer = (
+                request.public_key == target.public_key
+                if request.public_key and target.public_key
+                else request.author == target.author
+            )
+            if same_signer:
+                if self.has_permission(request.author, Permission.DELETE_OWN):
+                    return True, "owner deletion permitted by role"
+                return False, f"role of {request.author!r} may not delete entries"
+            if self.has_permission(request.author, Permission.DELETE_FOREIGN):
+                return True, "foreign deletion permitted by master signature"
+            return False, (
+                f"{request.author!r} may not delete an entry of {target.author!r}"
+            )
+
+        return authorize
+
+    def statistics(self) -> dict[str, int]:
+        """Role distribution for reports."""
+        counts: dict[str, int] = {role.value: 0 for role in Role}
+        for role in self.assignments.values():
+            counts[role.value] += 1
+        return counts

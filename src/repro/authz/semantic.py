@@ -1,0 +1,144 @@
+"""Semantic cohesion of deletions.
+
+Section IV-D2: *"A deletion request can only be granted, if further
+transactions do not rely on it.  Otherwise, multiple transactions need to be
+revoked, which may involve additional parties.  A deletion request of such a
+chain part of a transaction chain can be approved by the signatures of all
+dependent parties."*
+
+The cohesion checker maintains a dependency graph between entries
+(``depends_on`` edges declared by the application when it writes entries that
+reference earlier ones), refuses deletions of entries that still have living
+dependants, and supports the co-signing workflow for dependent parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.chain import Blockchain, CohesionChecker
+from repro.core.entry import EntryReference
+from repro.core.errors import CohesionError
+
+
+def _key(reference: EntryReference) -> tuple[int, int]:
+    return (reference.block_number, reference.entry_number)
+
+
+@dataclass
+class DependencyGraph:
+    """Directed graph: an edge A -> B means "A depends on B"."""
+
+    _dependencies: dict[tuple[int, int], set[tuple[int, int]]] = field(default_factory=dict)
+    _dependants: dict[tuple[int, int], set[tuple[int, int]]] = field(default_factory=dict)
+    _owners: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    def register_entry(self, reference: EntryReference, owner: str) -> None:
+        """Record the owner of an entry so co-signature sets can be computed."""
+        self._owners[_key(reference)] = owner
+
+    def add_dependency(self, dependant: EntryReference, dependency: EntryReference) -> None:
+        """Declare that ``dependant`` relies on ``dependency``."""
+        if _key(dependant) == _key(dependency):
+            raise CohesionError("an entry cannot depend on itself")
+        self._dependencies.setdefault(_key(dependant), set()).add(_key(dependency))
+        self._dependants.setdefault(_key(dependency), set()).add(_key(dependant))
+
+    def dependants_of(self, reference: EntryReference) -> list[EntryReference]:
+        """Entries that directly rely on ``reference``."""
+        return [
+            EntryReference(block_number=block, entry_number=entry)
+            for block, entry in sorted(self._dependants.get(_key(reference), set()))
+        ]
+
+    def transitive_dependants(self, reference: EntryReference) -> list[EntryReference]:
+        """All entries that directly or indirectly rely on ``reference``."""
+        seen: set[tuple[int, int]] = set()
+        stack = [_key(reference)]
+        while stack:
+            current = stack.pop()
+            for dependant in self._dependants.get(current, set()):
+                if dependant not in seen:
+                    seen.add(dependant)
+                    stack.append(dependant)
+        return [EntryReference(block_number=b, entry_number=e) for b, e in sorted(seen)]
+
+    def owner_of(self, reference: EntryReference) -> Optional[str]:
+        """Registered owner of an entry."""
+        return self._owners.get(_key(reference))
+
+    def required_cosigners(self, reference: EntryReference) -> set[str]:
+        """Owners of all dependants whose signatures a deletion would need."""
+        cosigners = set()
+        for dependant in self.transitive_dependants(reference):
+            owner = self.owner_of(dependant)
+            if owner is not None:
+                cosigners.add(owner)
+        return cosigners
+
+    def remove_entry(self, reference: EntryReference) -> None:
+        """Drop an entry and its edges (after it was physically deleted)."""
+        key = _key(reference)
+        for dependency in self._dependencies.pop(key, set()):
+            self._dependants.get(dependency, set()).discard(key)
+        for dependant in self._dependants.pop(key, set()):
+            self._dependencies.get(dependant, set()).discard(key)
+        self._owners.pop(key, None)
+
+
+@dataclass
+class CohesionPolicy:
+    """Semantic-cohesion checker pluggable into :class:`Blockchain`.
+
+    A deletion is cohesive when the target has no living dependants, or when
+    every required co-signer has signed off (:meth:`cosign`).
+    """
+
+    graph: DependencyGraph = field(default_factory=DependencyGraph)
+    _cosignatures: dict[tuple[int, int], set[str]] = field(default_factory=dict)
+
+    def cosign(self, target: EntryReference, party: str) -> None:
+        """Record a dependent party's consent to delete ``target``."""
+        self._cosignatures.setdefault(_key(target), set()).add(party)
+
+    def cosigners_of(self, target: EntryReference) -> set[str]:
+        """Parties that already co-signed the deletion of ``target``."""
+        return set(self._cosignatures.get(_key(target), set()))
+
+    def missing_cosigners(self, target: EntryReference) -> set[str]:
+        """Required co-signers that have not signed yet."""
+        return self.graph.required_cosigners(target) - self.cosigners_of(target)
+
+    def check(self, target: EntryReference, chain: Blockchain, requester: str = "") -> tuple[bool, str]:
+        """Cohesion verdict used by :class:`Blockchain.request_deletion`.
+
+        ``requester`` (the author of the deletion request) also counts as an
+        implicit co-signer of their own request.
+        """
+        if requester:
+            self.cosign(target, requester)
+        living_dependants = [
+            dependant
+            for dependant in self.graph.transitive_dependants(target)
+            if chain.entry_exists(dependant) and not chain.is_marked_for_deletion(dependant)
+        ]
+        if not living_dependants:
+            return True, "no living entries depend on the target"
+        missing = self.missing_cosigners(target)
+        if not missing:
+            return True, (
+                f"all {len(self.graph.required_cosigners(target))} dependent parties co-signed"
+            )
+        return False, (
+            f"{len(living_dependants)} dependent entries exist; missing co-signatures from "
+            f"{sorted(missing)}"
+        )
+
+    def as_checker(self) -> CohesionChecker:
+        """Return the callable form expected by the chain façade."""
+
+        def checker(target: EntryReference, chain: Blockchain, requester: str) -> tuple[bool, str]:
+            return self.check(target, chain, requester)
+
+        return checker

@@ -1,0 +1,107 @@
+"""Baseline: conventional immutable blockchain (no deletion at all).
+
+This is the status quo the paper argues against in Section I: the chain only
+ever grows, unwanted content cannot be removed, and every full node carries
+the complete history (Bitcoin's ~300 GB motivation).  It also serves as the
+growth baseline for the data-reduction benchmark (claim C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.baselines.base import BaselineSystem, ErasureOutcome, RecordRef, payload_size
+from repro.crypto.hashing import GENESIS_PREVIOUS_HASH, hash_hex
+
+
+@dataclass
+class SimpleBlock:
+    """A minimal immutable block: header plus one record."""
+
+    index: int
+    previous_hash: str
+    data: dict[str, Any]
+    author: str
+    block_hash: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.block_hash:
+            self.block_hash = hash_hex(
+                {
+                    "index": self.index,
+                    "previous_hash": self.previous_hash,
+                    "data": self.data,
+                    "author": self.author,
+                }
+            )
+
+    def byte_size(self) -> int:
+        """Approximate serialised size."""
+        return payload_size(self.data) + 2 * 64 + 16
+
+
+class ImmutableChain(BaselineSystem):
+    """Append-only hash chain without summary blocks."""
+
+    name = "immutable-full-chain"
+
+    def __init__(self) -> None:
+        self._blocks: list[SimpleBlock] = []
+
+    def append_record(self, data: Mapping[str, Any], author: str) -> RecordRef:
+        """Append one record as a new block."""
+        previous_hash = self._blocks[-1].block_hash if self._blocks else GENESIS_PREVIOUS_HASH
+        block = SimpleBlock(
+            index=len(self._blocks),
+            previous_hash=previous_hash,
+            data=dict(data),
+            author=author,
+        )
+        self._blocks.append(block)
+        return RecordRef(index=block.index)
+
+    def request_erasure(self, reference: RecordRef, author: str) -> ErasureOutcome:
+        """Erasure is impossible without breaking the hash chain."""
+        return ErasureOutcome(
+            accepted=False,
+            globally_effective=False,
+            effort_units=0.0,
+            detail="immutable chain: deletion would break the hash chain",
+        )
+
+    def storage_bytes(self) -> int:
+        """Every node stores every block forever."""
+        return sum(block.byte_size() for block in self._blocks)
+
+    def record_count(self) -> int:
+        """All records remain retrievable."""
+        return len(self._blocks)
+
+    def record_retrievable(self, reference: RecordRef) -> bool:
+        """Records are never removed."""
+        return 0 <= reference.index < len(self._blocks)
+
+    def verify(self) -> bool:
+        """Check the hash chain (used by tests and the hard-fork baseline)."""
+        previous = GENESIS_PREVIOUS_HASH
+        for block in self._blocks:
+            if block.previous_hash != previous:
+                return False
+            previous = block.block_hash
+        return True
+
+    @property
+    def blocks(self) -> list[SimpleBlock]:
+        """The underlying blocks (read-only use)."""
+        return list(self._blocks)
+
+    def capabilities(self) -> dict[str, Any]:
+        """Immutable chains offer no deletion whatsoever."""
+        return {
+            "name": self.name,
+            "selective_deletion": False,
+            "global_effect": False,
+            "keeps_chain_verifiable": True,
+            "requires_trapdoor_holder": False,
+        }

@@ -1,0 +1,140 @@
+"""Baseline: hard fork to a new chain without the unwanted content.
+
+Section III: *"Another possibility is a hard fork to a new blockchain after
+unwanted content is stored.  But this is very time inefficient as it can take
+place on every transaction."*  The baseline quantifies that inefficiency: an
+erasure rebuilds (re-hashes) every block after the erased one, so the effort
+grows linearly with the chain length and the whole network must adopt the new
+chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.baselines.base import BaselineSystem, EffortCounter, ErasureOutcome, RecordRef
+from repro.baselines.full_chain import ImmutableChain
+from repro.crypto.hashing import GENESIS_PREVIOUS_HASH
+
+
+@dataclass
+class _Record:
+    """One logical record with a stable identity across forks."""
+
+    data: dict[str, Any]
+    author: str
+    erased: bool = False
+
+
+class HardForkChain(BaselineSystem):
+    """Erasure by rebuilding the chain from the erased block onwards.
+
+    Record references stay valid across forks: they identify the *logical*
+    record, while the underlying chain is rebuilt (and every successor block
+    re-hashed) whenever one of them is erased.
+    """
+
+    name = "hard-fork"
+
+    def __init__(self) -> None:
+        self._records: list[_Record] = []
+        self._chain = ImmutableChain()
+        self._effort = EffortCounter()
+        self.forks_performed = 0
+
+    def _rebuild(self) -> int:
+        """Rebuild the canonical chain from the non-erased records."""
+        rebuilt = ImmutableChain()
+        for record in self._records:
+            if not record.erased:
+                rebuilt.append_record(record.data, record.author)
+        self._chain = rebuilt
+        return rebuilt.record_count()
+
+    def append_record(self, data: Mapping[str, Any], author: str) -> RecordRef:
+        """Append to the current canonical chain."""
+        record = _Record(data=dict(data), author=author)
+        self._records.append(record)
+        self._chain.append_record(record.data, record.author)
+        return RecordRef(index=len(self._records) - 1)
+
+    def request_erasure(self, reference: RecordRef, author: str) -> ErasureOutcome:
+        """Fork: rebuild every block after the erased record."""
+        if not (0 <= reference.index < len(self._records)):
+            return ErasureOutcome(
+                accepted=False, globally_effective=False, effort_units=0.0, detail="unknown record"
+            )
+        record = self._records[reference.index]
+        if record.erased:
+            return ErasureOutcome(
+                accepted=False,
+                globally_effective=False,
+                effort_units=0.0,
+                detail="record was already erased by an earlier fork",
+            )
+        # Blocks after the erased record on the *current* chain must be re-hashed.
+        position_on_chain = sum(
+            1 for earlier in self._records[: reference.index] if not earlier.erased
+        )
+        rehashed = max(0, self._chain.record_count() - position_on_chain - 1)
+        record.erased = True
+        self._rebuild()
+        self.forks_performed += 1
+        effort = self._effort.charge(float(rehashed + 1))
+        return ErasureOutcome(
+            accepted=True,
+            globally_effective=True,
+            effort_units=effort,
+            detail=f"hard fork rebuilt {rehashed} successor blocks; all nodes must switch chains",
+        )
+
+    def storage_bytes(self) -> int:
+        """Storage of the current canonical chain."""
+        return self._chain.storage_bytes()
+
+    def record_count(self) -> int:
+        """Records on the canonical chain."""
+        return self._chain.record_count()
+
+    def record_retrievable(self, reference: RecordRef) -> bool:
+        """A record is readable until it was erased by a fork."""
+        if not (0 <= reference.index < len(self._records)):
+            return False
+        return not self._records[reference.index].erased
+
+    def record_exists(self, data: Mapping[str, Any], author: str) -> bool:
+        """Content-based lookup used by the comparison benchmark."""
+        return any(
+            block.data == dict(data) and block.author == author for block in self._chain.blocks
+        )
+
+    @property
+    def total_effort(self) -> float:
+        """Accumulated rebuild effort."""
+        return self._effort.total
+
+    def verify(self) -> bool:
+        """The rebuilt chain must always verify."""
+        blocks = self._chain.blocks
+        previous = GENESIS_PREVIOUS_HASH
+        for block in blocks:
+            if block.previous_hash != previous:
+                return False
+            previous = block.block_hash
+        return True
+
+    def capabilities(self) -> dict[str, Any]:
+        """Hard forks delete globally but at linear cost per deletion."""
+        return {
+            "name": self.name,
+            "selective_deletion": True,
+            "global_effect": True,
+            "keeps_chain_verifiable": True,
+            "requires_trapdoor_holder": False,
+        }
+
+    @staticmethod
+    def rebuild_cost(chain_length: int, erase_index: int) -> int:
+        """Analytic cost model: blocks to re-hash for one erasure."""
+        return max(0, chain_length - erase_index - 1) + 1

@@ -1,0 +1,93 @@
+"""Baseline: off-chain payload storage with on-chain hash pointers.
+
+Section III: *"not the private user data are stored in the blockchain, but
+only the hashes of the user data for possible verification"* — payment
+channels, encrypted payloads with off-chain keys, and similar designs all
+reduce to this shape.  Erasure deletes the off-chain payload (or the key), so
+the data becomes unreadable, but the on-chain hash pointer remains forever
+and the chain itself never shrinks — which is exactly why the paper judges
+the approach insufficient for the chain-growth problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.baselines.base import BaselineSystem, EffortCounter, ErasureOutcome, RecordRef, payload_size
+from repro.baselines.full_chain import ImmutableChain
+from repro.crypto.hashing import hash_hex
+
+
+class OffChainStore(BaselineSystem):
+    """Hash pointers on an immutable chain, payloads in an erasable store."""
+
+    name = "off-chain-storage"
+
+    def __init__(self) -> None:
+        self._chain = ImmutableChain()
+        self._payloads: dict[int, dict[str, Any]] = {}
+        self._effort = EffortCounter()
+
+    def append_record(self, data: Mapping[str, Any], author: str) -> RecordRef:
+        """Store the payload off-chain and only its hash on-chain."""
+        digest = hash_hex(dict(data))
+        reference = self._chain.append_record({"payload_hash": digest}, author)
+        self._payloads[reference.index] = dict(data)
+        return reference
+
+    def request_erasure(self, reference: RecordRef, author: str) -> ErasureOutcome:
+        """Delete the off-chain payload; the on-chain pointer stays."""
+        if reference.index not in self._payloads:
+            return ErasureOutcome(
+                accepted=False,
+                globally_effective=False,
+                effort_units=0.0,
+                detail="payload already erased or unknown",
+            )
+        del self._payloads[reference.index]
+        effort = self._effort.charge(1.0)
+        return ErasureOutcome(
+            accepted=True,
+            globally_effective=True,
+            effort_units=effort,
+            detail="off-chain payload deleted; the hash pointer remains on the chain forever",
+        )
+
+    def storage_bytes(self) -> int:
+        """On-chain pointers plus the remaining off-chain payloads."""
+        off_chain = sum(payload_size(payload) for payload in self._payloads.values())
+        return self._chain.storage_bytes() + off_chain
+
+    def on_chain_bytes(self) -> int:
+        """Size of the on-chain part alone (never shrinks)."""
+        return self._chain.storage_bytes()
+
+    def record_count(self) -> int:
+        """Payloads still readable."""
+        return len(self._payloads)
+
+    def record_retrievable(self, reference: RecordRef) -> bool:
+        """Readable only while the off-chain payload exists."""
+        return reference.index in self._payloads
+
+    def verify_payload(self, reference: RecordRef) -> bool:
+        """Check an off-chain payload against its on-chain hash pointer."""
+        if reference.index not in self._payloads:
+            return False
+        pointer_block = self._chain.blocks[reference.index]
+        return pointer_block.data["payload_hash"] == hash_hex(self._payloads[reference.index])
+
+    @property
+    def total_effort(self) -> float:
+        """Accumulated erasure effort."""
+        return self._effort.total
+
+    def capabilities(self) -> dict[str, Any]:
+        """Erasure works for payloads, but the chain itself never shrinks."""
+        return {
+            "name": self.name,
+            "selective_deletion": True,
+            "global_effect": True,
+            "keeps_chain_verifiable": True,
+            "requires_trapdoor_holder": False,
+        }

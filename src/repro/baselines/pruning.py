@@ -1,0 +1,84 @@
+"""Baseline: local pruning.
+
+Section III: *"The simple solution of pruning locally stored parts does not
+solve the problem for the global, distributed blockchain."*  A pruning node
+throws away old block bodies and keeps only headers, so its own disk usage is
+bounded — but archival nodes elsewhere still hold the payload, so an erasure
+is never globally effective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.baselines.base import BaselineSystem, ErasureOutcome, RecordRef, payload_size
+from repro.baselines.full_chain import ImmutableChain
+
+
+class LocalPruningNode(BaselineSystem):
+    """A full chain plus one node that prunes bodies older than a window."""
+
+    name = "local-pruning"
+
+    def __init__(self, *, keep_recent: int = 100) -> None:
+        if keep_recent < 1:
+            raise ValueError("keep_recent must be positive")
+        self.keep_recent = keep_recent
+        self._archive = ImmutableChain()
+        self._pruned_bodies: set[int] = set()
+
+    def append_record(self, data: Mapping[str, Any], author: str) -> RecordRef:
+        """Append to the global chain and prune the local window."""
+        reference = self._archive.append_record(data, author)
+        horizon = self._archive.record_count() - self.keep_recent
+        for index in range(max(0, horizon)):
+            self._pruned_bodies.add(index)
+        return reference
+
+    def request_erasure(self, reference: RecordRef, author: str) -> ErasureOutcome:
+        """Prune the body locally; archival nodes still serve the record."""
+        self._pruned_bodies.add(reference.index)
+        return ErasureOutcome(
+            accepted=True,
+            globally_effective=False,
+            effort_units=1.0,
+            detail="body pruned on this node only; archival nodes keep the record",
+        )
+
+    def storage_bytes(self) -> int:
+        """Local storage: headers for everything, bodies only in the window."""
+        total = 0
+        for block in self._archive.blocks:
+            total += 2 * 64 + 16  # header
+            if block.index not in self._pruned_bodies:
+                total += payload_size(block.data)
+        return total
+
+    def archive_bytes(self) -> int:
+        """What the network as a whole still stores (the archival nodes)."""
+        return self._archive.storage_bytes()
+
+    def record_count(self) -> int:
+        """Globally retrievable records (the archive keeps everything)."""
+        return self._archive.record_count()
+
+    def record_retrievable(self, reference: RecordRef) -> bool:
+        """Records stay retrievable from archival nodes even when pruned here."""
+        return self._archive.record_retrievable(reference)
+
+    def locally_retrievable(self, reference: RecordRef) -> bool:
+        """Whether this pruning node still holds the record body."""
+        return (
+            self._archive.record_retrievable(reference)
+            and reference.index not in self._pruned_bodies
+        )
+
+    def capabilities(self) -> dict[str, Any]:
+        """Pruning bounds local storage but has no global effect."""
+        return {
+            "name": self.name,
+            "selective_deletion": True,
+            "global_effect": False,
+            "keeps_chain_verifiable": True,
+            "requires_trapdoor_holder": False,
+        }

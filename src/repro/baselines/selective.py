@@ -1,0 +1,104 @@
+"""The paper's system wrapped in the baseline-comparison interface.
+
+Lets the comparison benchmark (claim C5) sweep the selective-deletion chain
+with exactly the same driver code as the Section III alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.baselines.base import BaselineSystem, EffortCounter, ErasureOutcome, RecordRef
+from repro.core.chain import Blockchain
+from repro.core.config import ChainConfig
+from repro.core.entry import EntryReference
+
+
+class SelectiveDeletionSystem(BaselineSystem):
+    """Adapter exposing :class:`Blockchain` through the baseline interface."""
+
+    name = "selective-deletion"
+
+    def __init__(self, config: Optional[ChainConfig] = None) -> None:
+        self.chain = Blockchain(config or ChainConfig.paper_evaluation())
+        self._effort = EffortCounter()
+        self._references: dict[int, EntryReference] = {}
+        self._next_index = 0
+
+    def append_record(self, data: Mapping[str, Any], author: str) -> RecordRef:
+        """Each record becomes one block, as in the paper's evaluation."""
+        block = self.chain.add_entry_block(dict(data), author)
+        reference = RecordRef(index=self._next_index)
+        self._references[reference.index] = EntryReference(block.block_number, 1)
+        self._next_index += 1
+        return reference
+
+    def request_erasure(self, reference: RecordRef, author: str) -> ErasureOutcome:
+        """Submit a deletion request; effort is one entry plus quorum approval."""
+        target = self._references.get(reference.index)
+        if target is None:
+            return ErasureOutcome(
+                accepted=False, globally_effective=False, effort_units=0.0, detail="unknown record"
+            )
+        decision = self.chain.request_deletion(target, author)
+        self.chain.seal_block()
+        effort = self._effort.charge(1.0)
+        return ErasureOutcome(
+            accepted=decision.is_approved,
+            globally_effective=decision.is_approved,
+            effort_units=effort,
+            detail=decision.reason,
+        )
+
+    def drain_retention(self, *, max_cycles: int = 64) -> int:
+        """Advance the chain with empty blocks until pending deletions execute.
+
+        Returns the number of filler blocks appended.  Models the delayed
+        nature of deletion (Section IV-D3): the comparison measures state
+        *after* the summarisation cycles had a chance to run.
+        """
+        appended = 0
+        for _ in range(max_cycles):
+            outstanding = [
+                self._references[index]
+                for index in self._references
+                if self.chain.is_marked_for_deletion(self._references[index])
+                and self.chain.find_entry(self._references[index]) is not None
+            ]
+            if not outstanding:
+                break
+            self.chain.add_entry_block({"D": "filler", "K": "system", "S": "sig_system"}, "system")
+            appended += 1
+        return appended
+
+    def storage_bytes(self) -> int:
+        """Living chain size (shrinks after marker shifts)."""
+        return self.chain.byte_size()
+
+    def record_count(self) -> int:
+        """Records still retrievable from the living chain."""
+        return sum(
+            1
+            for reference in self._references.values()
+            if self.chain.find_entry(reference) is not None
+        )
+
+    def record_retrievable(self, reference: RecordRef) -> bool:
+        """True while the record (or its summary copy) is still in the chain."""
+        target = self._references.get(reference.index)
+        return target is not None and self.chain.find_entry(target) is not None
+
+    @property
+    def total_effort(self) -> float:
+        """Accumulated erasure effort."""
+        return self._effort.total
+
+    def capabilities(self) -> dict[str, Any]:
+        """Selective deletion is global, chain-shrinking and trapdoor-free."""
+        return {
+            "name": self.name,
+            "selective_deletion": True,
+            "global_effect": True,
+            "keeps_chain_verifiable": True,
+            "requires_trapdoor_holder": False,
+        }

@@ -1,0 +1,143 @@
+"""Command-line driver.
+
+``python -m repro`` (or the ``selective-deletion`` console script) exposes the
+paper's evaluation scenario and the main analyses without writing any code:
+
+* ``scenario`` — replay the Figs. 6-8 logging scenario and print the console
+  dumps,
+* ``growth``   — compare chain growth with and without selective deletion,
+* ``attack``   — print the 51 %-attack resistance table (Fig. 9),
+* ``compare``  — run the baseline comparison (Section III alternatives).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.attack import attack_resistance_table
+from repro.analysis.compare import run_comparison
+from repro.analysis.metrics import final_reduction_factor
+from repro.analysis.report import render_chain, render_comparison_table, render_statistics
+from repro.core.chain import Blockchain
+from repro.core.config import ChainConfig
+from repro.core.schema import default_log_schema
+from repro.workloads.base import replay
+from repro.workloads.logging import LoginAuditWorkload, PaperScenarioWorkload
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    chain = Blockchain(ChainConfig.paper_evaluation(), schema=default_log_schema())
+    replay(PaperScenarioWorkload(extra_cycles=args.cycles), chain)
+    print(render_chain(chain, header="selective deletion — paper scenario"))
+    print(render_statistics(chain))
+    return 0
+
+
+def _run_growth(args: argparse.Namespace) -> int:
+    bounded = Blockchain(ChainConfig.paper_evaluation())
+    unbounded = Blockchain(ChainConfig(sequence_length=3))
+    workload = LoginAuditWorkload(num_events=args.events, num_users=5, seed=1)
+    replay(workload, bounded)
+    replay(LoginAuditWorkload(num_events=args.events, num_users=5, seed=1), unbounded)
+    factor = final_reduction_factor(bounded.byte_size(), unbounded.byte_size())
+    print(f"events replayed:          {args.events}")
+    print(f"bounded chain blocks:     {bounded.length} ({bounded.byte_size()} bytes)")
+    print(f"unbounded chain blocks:   {unbounded.length} ({unbounded.byte_size()} bytes)")
+    print(f"storage reduction factor: {factor:.2f}x")
+    return 0
+
+
+def _run_attack(args: argparse.Namespace) -> int:
+    rows = attack_resistance_table(
+        chain_lengths=[10, 50, 100],
+        attacker_shares=[0.2, 0.35, 0.45],
+        trials=args.trials,
+    )
+    formatted = [
+        {
+            "chain_length": int(row["chain_length"]),
+            "attacker_share": row["attacker_share"],
+            "redundancy": "middle-seq" if row["redundancy"] else "none",
+            "blocks_to_rewrite": int(row["blocks_to_rewrite"]),
+            "analytic_success": f"{row['analytic_success']:.4f}",
+            "simulated_success": f"{row['simulated_success']:.4f}",
+        }
+        for row in rows
+    ]
+    print(
+        render_comparison_table(
+            formatted,
+            columns=[
+                "chain_length",
+                "attacker_share",
+                "redundancy",
+                "blocks_to_rewrite",
+                "analytic_success",
+                "simulated_success",
+            ],
+            title="51% attack resistance (Fig. 9)",
+        )
+    )
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    rows = [row.as_dict() for row in run_comparison(num_records=args.records)]
+    print(
+        render_comparison_table(
+            rows,
+            columns=[
+                "system",
+                "records",
+                "erasures",
+                "effective",
+                "readable",
+                "storage_bytes",
+                "effort",
+                "selective",
+                "global",
+                "trapdoor",
+            ],
+            title="Baseline comparison (Section III alternatives)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="selective-deletion",
+        description="Reproduction of 'Selective Deletion in a Blockchain' (ICDCS 2020)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser("scenario", help="replay the Figs. 6-8 logging scenario")
+    scenario.add_argument("--cycles", type=int, default=2, help="extra summarisation cycles")
+    scenario.set_defaults(func=_run_scenario)
+
+    growth = subparsers.add_parser("growth", help="bounded vs unbounded chain growth")
+    growth.add_argument("--events", type=int, default=300, help="number of login events")
+    growth.set_defaults(func=_run_growth)
+
+    attack = subparsers.add_parser("attack", help="51% attack resistance table")
+    attack.add_argument("--trials", type=int, default=500, help="Monte-Carlo trials per cell")
+    attack.set_defaults(func=_run_attack)
+
+    compare = subparsers.add_parser("compare", help="baseline comparison table")
+    compare.add_argument("--records", type=int, default=120, help="records per system")
+    compare.set_defaults(func=_run_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Consensus abstraction.
+
+Section IV-A stresses that the selective-deletion concept *"is based on this
+functionality, independent of the specific consensus algorithm"*, and
+Section V-B3 states that *"any consensus algorithm can be extended by the
+described behavior"*.  The library therefore treats consensus as a strategy
+object: an engine prepares blocks before they are appended (e.g. mining a
+nonce or attaching a validator signature) and validates blocks received from
+peers.  The summary/deletion layer never looks inside the engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.block import Block
+
+
+@dataclass(frozen=True)
+class ConsensusDecision:
+    """Outcome of validating a block under a consensus engine."""
+
+    accepted: bool
+    reason: str = ""
+
+
+class ConsensusEngine(ABC):
+    """Strategy interface every consensus algorithm implements."""
+
+    #: Short engine name used in logs and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def prepare_block(self, block: Block) -> Block:
+        """Finalise a freshly built block (mine it, sign it, ...).
+
+        The engine may mutate the block in place (e.g. set the nonce) and
+        must return it.
+        """
+
+    @abstractmethod
+    def validate_block(self, block: Block, previous: Optional[Block]) -> ConsensusDecision:
+        """Check that a block satisfies the engine's acceptance rule."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.name} consensus engine"
+
+
+class NullConsensus(ConsensusEngine):
+    """Accept-everything engine used by unit tests and micro-benchmarks.
+
+    Useful to isolate the cost of the summarisation machinery itself from the
+    cost of mining or signature checking.
+    """
+
+    name = "null"
+
+    def prepare_block(self, block: Block) -> Block:
+        """Return the block unchanged."""
+        return block
+
+    def validate_block(self, block: Block, previous: Optional[Block]) -> ConsensusDecision:
+        """Accept every block."""
+        return ConsensusDecision(accepted=True, reason="null consensus accepts everything")

@@ -1,0 +1,137 @@
+"""Proof-of-Authority engine for anchor-node quorums.
+
+The paper's deployment model centres on *anchor nodes* — "the guardians of
+the blockchain" — that manage full copies and build the quorum
+(Section IV-A).  Proof of Authority is the natural fit: a fixed, publicly
+known validator set takes turns sealing blocks and every block must carry a
+valid validator signature.  This engine signs the block header with the
+validator's ECDSA key and validates round-robin ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.base import ConsensusDecision, ConsensusEngine
+from repro.core.block import Block
+from repro.core.errors import ConsensusError
+from repro.crypto.hashing import canonical_json
+from repro.crypto.keys import KeyPair, verify_with_public_key
+
+
+@dataclass
+class ValidatorSet:
+    """The ordered set of authorized block sealers (the anchor nodes)."""
+
+    validators: dict[str, str] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_key_pairs(cls, key_pairs: dict[str, KeyPair]) -> "ValidatorSet":
+        """Build a validator set from named key pairs."""
+        ordered = sorted(key_pairs)
+        return cls(
+            validators={name: key_pairs[name].public_key_hex for name in ordered},
+            order=ordered,
+        )
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def is_validator(self, name: str) -> bool:
+        """True when ``name`` belongs to the authority set."""
+        return name in self.validators
+
+    def expected_sealer(self, block_number: int) -> str:
+        """Round-robin sealer for a given block number."""
+        if not self.order:
+            raise ConsensusError("validator set is empty")
+        return self.order[block_number % len(self.order)]
+
+    def public_key_of(self, name: str) -> str:
+        """Public key of a validator."""
+        try:
+            return self.validators[name]
+        except KeyError:
+            raise ConsensusError(f"{name!r} is not an authorized validator") from None
+
+
+@dataclass
+class ProofOfAuthority(ConsensusEngine):
+    """Round-robin proof of authority over a fixed validator set.
+
+    ``sealer_name``/``sealer_key`` identify the local validator; blocks whose
+    round-robin slot belongs to another validator are still *prepared*
+    locally (summary blocks are computed by everyone, Section IV-B) but the
+    seal records which validator was responsible.
+    """
+
+    validator_set: ValidatorSet
+    sealer_name: str
+    sealer_key: KeyPair
+    strict_round_robin: bool = False
+    name: str = "poa"
+
+    def __post_init__(self) -> None:
+        if not self.validator_set.is_validator(self.sealer_name):
+            raise ConsensusError(f"{self.sealer_name!r} is not part of the validator set")
+
+    def _seal_payload(self, block: Block) -> str:
+        return canonical_json(
+            {
+                "block_number": block.block_number,
+                "previous_hash": block.previous_hash,
+                "timestamp": block.timestamp,
+                "entries": [entry.to_dict() for entry in block.entries],
+            }
+        )
+
+    def prepare_block(self, block: Block) -> Block:
+        """Attach the sealing validator's signature to the block.
+
+        The seal is stored in ``summary_references`` under a reserved key so
+        the block data model stays consensus-agnostic.
+        """
+        signature = self.sealer_key.sign_text(self._seal_payload(block))
+        block.summary_references = [
+            reference
+            for reference in block.summary_references
+            if not (isinstance(reference, dict) and reference.get("kind") == "poa-seal")
+        ] + [
+            {
+                "kind": "poa-seal",
+                "sealer": self.sealer_name,
+                "signature": signature,
+            }
+        ]
+        block.set_nonce(block.nonce)  # invalidate the cached hash after sealing
+        return block
+
+    def _extract_seal(self, block: Block) -> Optional[dict]:
+        for reference in block.summary_references:
+            if isinstance(reference, dict) and reference.get("kind") == "poa-seal":
+                return reference
+        return None
+
+    def validate_block(self, block: Block, previous: Optional[Block]) -> ConsensusDecision:
+        """Check the seal signature and (optionally) the round-robin order."""
+        seal = self._extract_seal(block)
+        if seal is None:
+            return ConsensusDecision(accepted=False, reason="block carries no authority seal")
+        sealer = seal.get("sealer", "")
+        if not self.validator_set.is_validator(sealer):
+            return ConsensusDecision(accepted=False, reason=f"sealer {sealer!r} is not authorized")
+        public_key = self.validator_set.public_key_of(sealer)
+        if not verify_with_public_key(
+            public_key, self._seal_payload(block).encode("utf-8"), seal.get("signature", "")
+        ):
+            return ConsensusDecision(accepted=False, reason="authority seal signature is invalid")
+        if self.strict_round_robin:
+            expected = self.validator_set.expected_sealer(block.block_number)
+            if sealer != expected:
+                return ConsensusDecision(
+                    accepted=False,
+                    reason=f"block {block.block_number} should be sealed by {expected!r}, not {sealer!r}",
+                )
+        return ConsensusDecision(accepted=True, reason=f"sealed by {sealer}")

@@ -1,0 +1,78 @@
+"""Simplified Proof-of-Work engine.
+
+The paper's concept applies to mined chains such as Bitcoin (Section VI
+explicitly mentions extending "already running systems like Bitcoin"), and
+the 51 %-attack analysis of Section V-B1 reasons about the number of blocks
+an attacker must re-mine.  This engine implements hash-prefix proof of work
+with a configurable difficulty in bits, low enough to run in tests and
+benchmarks yet structurally identical to production PoW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consensus.base import ConsensusDecision, ConsensusEngine
+from repro.core.block import Block
+from repro.core.errors import ConsensusError
+
+
+def _leading_zero_bits(hex_digest: str) -> int:
+    """Number of leading zero bits of a hex digest."""
+    bits = 0
+    for character in hex_digest:
+        value = int(character, 16)
+        if value == 0:
+            bits += 4
+            continue
+        # Count the leading zeros inside this nibble and stop.
+        bits += 4 - value.bit_length()
+        break
+    return bits
+
+
+@dataclass
+class ProofOfWork(ConsensusEngine):
+    """Hash-prefix proof of work with ``difficulty_bits`` leading zero bits."""
+
+    difficulty_bits: int = 8
+    max_attempts: int = 2_000_000
+    name: str = "pow"
+
+    def __post_init__(self) -> None:
+        if self.difficulty_bits < 0:
+            raise ConsensusError("difficulty_bits must be non-negative")
+        if self.max_attempts <= 0:
+            raise ConsensusError("max_attempts must be positive")
+
+    def expected_attempts(self) -> int:
+        """Expected number of nonce trials per block (2^difficulty)."""
+        return 1 << self.difficulty_bits
+
+    def meets_difficulty(self, block: Block) -> bool:
+        """Check the hash-prefix condition for ``block``."""
+        return _leading_zero_bits(block.block_hash) >= self.difficulty_bits
+
+    def prepare_block(self, block: Block) -> Block:
+        """Mine the block by scanning nonces until the difficulty is met."""
+        for nonce in range(self.max_attempts):
+            block.set_nonce(nonce)
+            if self.meets_difficulty(block):
+                return block
+        raise ConsensusError(
+            f"could not mine block {block.block_number} within {self.max_attempts} attempts"
+        )
+
+    def validate_block(self, block: Block, previous: Optional[Block]) -> ConsensusDecision:
+        """Accept blocks whose hash satisfies the difficulty target."""
+        if not self.meets_difficulty(block):
+            return ConsensusDecision(
+                accepted=False,
+                reason=f"block {block.block_number} does not meet difficulty {self.difficulty_bits} bits",
+            )
+        return ConsensusDecision(accepted=True, reason="difficulty target met")
+
+    def work_per_block(self) -> float:
+        """Relative work unit per block, used by the attack model."""
+        return float(self.expected_attempts())

@@ -1,0 +1,180 @@
+"""Quorum voting.
+
+Two decisions in the paper are taken by the quorum of anchor nodes:
+
+* *"By a majority vote, the quorum determines the new first Block and the
+  time of the changeover"* (Section IV-C — redefining the Genesis Block),
+* deletion requests are *"approved ... according to the consensus of the
+  anchor nodes"* (Section IV-D1), potentially under additional constraints
+  the quorum dictates.
+
+This module provides a small, reusable voting machine: proposals are opened,
+members cast signed or unsigned votes, and the proposal is decided once a
+configurable threshold (simple majority by default) is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Optional
+
+from repro.core.errors import ConsensusError
+
+
+class ProposalState(str, Enum):
+    """Lifecycle of a quorum proposal."""
+
+    OPEN = "open"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Proposal:
+    """A single yes/no decision put before the quorum."""
+
+    proposal_id: str
+    kind: str
+    payload: Any
+    votes: dict[str, bool] = field(default_factory=dict)
+    state: ProposalState = ProposalState.OPEN
+
+    @property
+    def yes_votes(self) -> int:
+        """Number of approving votes."""
+        return sum(1 for approve in self.votes.values() if approve)
+
+    @property
+    def no_votes(self) -> int:
+        """Number of rejecting votes."""
+        return sum(1 for approve in self.votes.values() if not approve)
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Result returned when a vote settles (or fails to settle) a proposal."""
+
+    proposal_id: str
+    state: ProposalState
+    yes_votes: int
+    no_votes: int
+    member_count: int
+
+    @property
+    def decided(self) -> bool:
+        """True once the proposal is accepted or rejected."""
+        return self.state is not ProposalState.OPEN
+
+
+class Quorum:
+    """Majority voting among a fixed set of anchor nodes.
+
+    ``threshold`` is the fraction of the *member set* that must approve; the
+    default ``0.5`` (exclusive) realises a simple majority.  Rejection is
+    declared as soon as approval has become impossible.
+    """
+
+    def __init__(self, members: Iterable[str], *, threshold: float = 0.5) -> None:
+        self.members = sorted(set(members))
+        if not self.members:
+            raise ConsensusError("a quorum needs at least one member")
+        if not 0.0 < threshold < 1.0:
+            raise ConsensusError("threshold must be a fraction strictly between 0 and 1")
+        self.threshold = threshold
+        self._proposals: dict[str, Proposal] = {}
+
+    # ------------------------------------------------------------------ #
+    # Proposal management
+    # ------------------------------------------------------------------ #
+
+    def propose(self, proposal_id: str, kind: str, payload: Any) -> Proposal:
+        """Open a new proposal (idempotent for the same id/kind/payload)."""
+        existing = self._proposals.get(proposal_id)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConsensusError(
+                    f"proposal {proposal_id!r} already exists with a different kind"
+                )
+            return existing
+        proposal = Proposal(proposal_id=proposal_id, kind=kind, payload=payload)
+        self._proposals[proposal_id] = proposal
+        return proposal
+
+    def proposal(self, proposal_id: str) -> Proposal:
+        """Fetch a proposal by id."""
+        try:
+            return self._proposals[proposal_id]
+        except KeyError:
+            raise ConsensusError(f"unknown proposal {proposal_id!r}") from None
+
+    def open_proposals(self) -> list[Proposal]:
+        """All proposals still awaiting a decision."""
+        return [p for p in self._proposals.values() if p.state is ProposalState.OPEN]
+
+    # ------------------------------------------------------------------ #
+    # Voting
+    # ------------------------------------------------------------------ #
+
+    def required_votes(self) -> int:
+        """Minimal number of yes votes needed for acceptance."""
+        needed = int(len(self.members) * self.threshold) + 1
+        return min(needed, len(self.members))
+
+    def vote(self, proposal_id: str, member: str, approve: bool) -> VoteOutcome:
+        """Cast (or change) a member's vote and evaluate the proposal."""
+        if member not in self.members:
+            raise ConsensusError(f"{member!r} is not a quorum member")
+        proposal = self.proposal(proposal_id)
+        if proposal.state is not ProposalState.OPEN:
+            return self._outcome(proposal)
+        proposal.votes[member] = approve
+        self._evaluate(proposal)
+        return self._outcome(proposal)
+
+    def _evaluate(self, proposal: Proposal) -> None:
+        required = self.required_votes()
+        if proposal.yes_votes >= required:
+            proposal.state = ProposalState.ACCEPTED
+            return
+        remaining = len(self.members) - len(proposal.votes)
+        if proposal.yes_votes + remaining < required:
+            proposal.state = ProposalState.REJECTED
+
+    def _outcome(self, proposal: Proposal) -> VoteOutcome:
+        return VoteOutcome(
+            proposal_id=proposal.proposal_id,
+            state=proposal.state,
+            yes_votes=proposal.yes_votes,
+            no_votes=proposal.no_votes,
+            member_count=len(self.members),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+
+    def decide_unanimously(self, proposal_id: str, kind: str, payload: Any) -> VoteOutcome:
+        """Open a proposal and have every member approve it.
+
+        Models the common case of the deterministic decisions in the paper
+        (marker shifts computed identically by every honest node).
+        """
+        self.propose(proposal_id, kind, payload)
+        outcome: Optional[VoteOutcome] = None
+        for member in self.members:
+            outcome = self.vote(proposal_id, member, True)
+            if outcome.decided:
+                break
+        assert outcome is not None
+        return outcome
+
+    def statistics(self) -> dict[str, int]:
+        """Counters over all proposals seen so far."""
+        states = [proposal.state for proposal in self._proposals.values()]
+        return {
+            "proposals": len(states),
+            "accepted": sum(1 for state in states if state is ProposalState.ACCEPTED),
+            "rejected": sum(1 for state in states if state is ProposalState.REJECTED),
+            "open": sum(1 for state in states if state is ProposalState.OPEN),
+        }

@@ -1,0 +1,105 @@
+"""Core of the selective-deletion blockchain: the paper's primary contribution.
+
+This package contains the data model (entries, blocks, summary blocks,
+sequences), the chain façade with the shifting genesis marker, the
+summarisation and retention machinery, deletion requests with delayed
+execution, temporary entries, and chain validation.
+"""
+
+from repro.core.aggregation import AggregatedRecord, EntryAggregator, aggregate_events, compression_ratio
+from repro.core.block import Block, BlockType, RedundancyRecord, make_genesis_block
+from repro.core.chain import Blockchain, ChainEvent
+from repro.core.clock import FixedClock, LogicalClock, SystemClock
+from repro.core.config import (
+    ChainConfig,
+    LengthUnit,
+    RedundancyPolicy,
+    RetentionPolicy,
+    ShrinkStrategy,
+    SummaryMode,
+)
+from repro.core.deletion import (
+    DeletionDecision,
+    DeletionRegistry,
+    DeletionStatus,
+    build_deletion_request,
+    default_authorizer,
+)
+from repro.core.entry import Entry, EntryKind, EntryReference
+from repro.core.errors import (
+    AuthorizationError,
+    ChainIntegrityError,
+    CohesionError,
+    ConfigurationError,
+    ConsensusError,
+    DeletionError,
+    RetentionError,
+    SchemaError,
+    SelectiveDeletionError,
+    StorageError,
+    SynchronisationError,
+)
+from repro.core.schema import EntrySchema, FieldSpec, default_log_schema, parse_schema_yaml
+from repro.core.sequence import SequenceView, completed_sequences, partition_into_sequences
+from repro.core.summarizer import DroppedEntry, Summarizer, SummaryResult
+from repro.core.validation import (
+    deletion_is_effective,
+    is_traceable_extension,
+    validate_chain,
+    verify_summary_determinism,
+)
+
+__all__ = [
+    "AggregatedRecord",
+    "EntryAggregator",
+    "aggregate_events",
+    "compression_ratio",
+    "Block",
+    "BlockType",
+    "RedundancyRecord",
+    "make_genesis_block",
+    "Blockchain",
+    "ChainEvent",
+    "FixedClock",
+    "LogicalClock",
+    "SystemClock",
+    "ChainConfig",
+    "LengthUnit",
+    "RedundancyPolicy",
+    "RetentionPolicy",
+    "ShrinkStrategy",
+    "SummaryMode",
+    "DeletionDecision",
+    "DeletionRegistry",
+    "DeletionStatus",
+    "build_deletion_request",
+    "default_authorizer",
+    "Entry",
+    "EntryKind",
+    "EntryReference",
+    "AuthorizationError",
+    "ChainIntegrityError",
+    "CohesionError",
+    "ConfigurationError",
+    "ConsensusError",
+    "DeletionError",
+    "RetentionError",
+    "SchemaError",
+    "SelectiveDeletionError",
+    "StorageError",
+    "SynchronisationError",
+    "EntrySchema",
+    "FieldSpec",
+    "default_log_schema",
+    "parse_schema_yaml",
+    "SequenceView",
+    "completed_sequences",
+    "partition_into_sequences",
+    "DroppedEntry",
+    "Summarizer",
+    "SummaryResult",
+    "deletion_is_effective",
+    "is_traceable_extension",
+    "validate_chain",
+    "verify_summary_determinism",
+]

@@ -1,0 +1,289 @@
+"""Blocks and summary blocks.
+
+A block header consists of the block number α, the timestamp τ, the previous
+block hash, the own block hash, and — for mined chains — a nonce (Fig. 6
+prints ``block number; timestamp; previous block hash; own block hash;
+optional data entry``).
+
+Summary blocks Σ are a special block type introduced in Section IV-B.  They
+contain deterministic information only, carry the same timestamp as the block
+before them, are created locally by every anchor node (no propagation) and
+absorb the data of expiring sequences.  On top of the copied entries a
+summary block can embed redundancy material — the data or Merkle root of a
+middle sequence — to hamper the 51 % attack (Section V-B1, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.crypto.hashing import GENESIS_PREVIOUS_HASH, hash_hex, truncate_hash
+from repro.core.entry import Entry
+from repro.core.errors import ChainIntegrityError
+
+
+class BlockType(str, Enum):
+    """Discriminates ordinary blocks from summary blocks Σ."""
+
+    NORMAL = "normal"
+    SUMMARY = "summary"
+
+
+@dataclass(frozen=True)
+class RedundancyRecord:
+    """Redundancy material embedded in a summary block (Fig. 9).
+
+    Either the Merkle root of the referenced middle sequence
+    (``merkle_root`` set, ``entries`` empty) or a full copy of its data
+    (``entries`` populated), depending on the configured
+    :class:`~repro.core.config.RedundancyPolicy`.
+    """
+
+    sequence_index: int
+    first_block_number: int
+    last_block_number: int
+    merkle_root: Optional[str] = None
+    entries: tuple[Entry, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation."""
+        return {
+            "sequence_index": self.sequence_index,
+            "first_block_number": self.first_block_number,
+            "last_block_number": self.last_block_number,
+            "merkle_root": self.merkle_root,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RedundancyRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            sequence_index=int(payload["sequence_index"]),
+            first_block_number=int(payload["first_block_number"]),
+            last_block_number=int(payload["last_block_number"]),
+            merkle_root=payload.get("merkle_root"),
+            entries=tuple(Entry.from_dict(item) for item in payload.get("entries", ())),
+        )
+
+
+@dataclass
+class Block:
+    """A block of the selective-deletion blockchain.
+
+    Blocks are conceptually immutable once appended; the only mutation the
+    library performs is setting the proof-of-work nonce through
+    :meth:`set_nonce`, which invalidates the cached hash.
+    """
+
+    block_number: int
+    timestamp: int
+    previous_hash: str
+    entries: list[Entry] = field(default_factory=list)
+    block_type: BlockType = BlockType.NORMAL
+    nonce: int = 0
+    redundancy: list[RedundancyRecord] = field(default_factory=list)
+    merged_sequences: list[int] = field(default_factory=list)
+    summary_references: list[dict[str, Any]] = field(default_factory=list)
+    _cached_hash: Optional[str] = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.block_number < 0:
+            raise ChainIntegrityError("block number must be non-negative")
+        if self.timestamp < 0:
+            raise ChainIntegrityError("timestamp must be non-negative")
+        if not self.previous_hash:
+            raise ChainIntegrityError("previous hash must not be empty")
+        self.entries = [
+            entry if entry.entry_number is not None else entry.with_entry_number(index)
+            for index, entry in enumerate(self.entries, start=1)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_summary(self) -> bool:
+        """True for summary blocks Σ."""
+        return self.block_type is BlockType.SUMMARY
+
+    @property
+    def is_genesis_origin(self) -> bool:
+        """True for the original block 0 (previous hash ``DEADB``)."""
+        return self.block_number == 0 and self.previous_hash == GENESIS_PREVIOUS_HASH
+
+    @property
+    def entry_count(self) -> int:
+        """Number of entries stored in the block."""
+        return len(self.entries)
+
+    # ------------------------------------------------------------------ #
+    # Hashing
+    # ------------------------------------------------------------------ #
+
+    def header_dict(self) -> dict[str, Any]:
+        """Header fields that identify the block (content excluded)."""
+        return {
+            "block_number": self.block_number,
+            "timestamp": self.timestamp,
+            "previous_hash": self.previous_hash,
+            "block_type": self.block_type.value,
+            "nonce": self.nonce,
+        }
+
+    def content_dict(self) -> dict[str, Any]:
+        """Full hashable content of the block."""
+        return {
+            "header": self.header_dict(),
+            "entries": [entry.to_dict() for entry in self.entries],
+            "redundancy": [record.to_dict() for record in self.redundancy],
+            "merged_sequences": list(self.merged_sequences),
+            "summary_references": list(self.summary_references),
+        }
+
+    def compute_hash(self) -> str:
+        """Recompute the block hash from scratch (ignores the cache)."""
+        return hash_hex(self.content_dict())
+
+    @property
+    def block_hash(self) -> str:
+        """Cached block hash."""
+        if self._cached_hash is None:
+            self._cached_hash = self.compute_hash()
+        return self._cached_hash
+
+    def set_nonce(self, nonce: int) -> None:
+        """Update the proof-of-work nonce and invalidate the cached hash."""
+        self.nonce = nonce
+        self._cached_hash = None
+
+    # ------------------------------------------------------------------ #
+    # Entry access
+    # ------------------------------------------------------------------ #
+
+    def entry(self, entry_number: int) -> Entry:
+        """Return the entry with 1-based ``entry_number``."""
+        for candidate in self.entries:
+            if candidate.entry_number == entry_number:
+                return candidate
+        raise KeyError(f"block {self.block_number} has no entry number {entry_number}")
+
+    def find_copy_of(self, origin_block_number: int, origin_entry_number: int) -> Optional[Entry]:
+        """Locate the carried-forward copy of an original entry, if present."""
+        for candidate in self.entries:
+            if (
+                candidate.origin_block_number == origin_block_number
+                and candidate.origin_entry_number == origin_entry_number
+            ):
+                return candidate
+        return None
+
+    def data_entries(self) -> list[Entry]:
+        """All entries that are plain data records (no deletion requests)."""
+        return [entry for entry in self.entries if not entry.is_deletion_request]
+
+    def deletion_requests(self) -> list[Entry]:
+        """All deletion-request entries in this block."""
+        return [entry for entry in self.entries if entry.is_deletion_request]
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+
+    def byte_size(self) -> int:
+        """Approximate serialised size of the block in bytes.
+
+        Used by the storage-growth and summary-size benchmarks (Sections I
+        and V-B2 motivate the concept with the unbounded growth of Bitcoin's
+        chain).
+        """
+        from repro.crypto.hashing import canonical_json
+
+        return len(canonical_json(self.to_dict()).encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and display
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation (includes the hash)."""
+        payload = self.content_dict()
+        payload["block_hash"] = self.block_hash
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Block":
+        """Rebuild a block from :meth:`to_dict` output and verify its hash."""
+        header = payload["header"]
+        block = cls(
+            block_number=int(header["block_number"]),
+            timestamp=int(header["timestamp"]),
+            previous_hash=str(header["previous_hash"]),
+            entries=[Entry.from_dict(item) for item in payload.get("entries", ())],
+            block_type=BlockType(header.get("block_type", BlockType.NORMAL.value)),
+            nonce=int(header.get("nonce", 0)),
+            redundancy=[RedundancyRecord.from_dict(item) for item in payload.get("redundancy", ())],
+            merged_sequences=list(payload.get("merged_sequences", ())),
+            summary_references=list(payload.get("summary_references", ())),
+        )
+        expected = payload.get("block_hash")
+        if expected is not None and block.block_hash != expected:
+            raise ChainIntegrityError(
+                f"stored hash of block {block.block_number} does not match its content"
+            )
+        return block
+
+    def display(self, *, hash_length: int = 5) -> str:
+        """Console header line in the style of the paper's figures.
+
+        Example: ``S2; t=2; prev=4F0C1; hash=A77E2`` for a summary block or
+        ``1; t=1; prev=0BEEF; hash=4F0C1`` for a normal block.
+        """
+        prefix = f"S{self.block_number}" if self.is_summary else f"{self.block_number}"
+        previous = (
+            self.previous_hash
+            if self.previous_hash == GENESIS_PREVIOUS_HASH
+            else truncate_hash(self.previous_hash, hash_length)
+        )
+        own = truncate_hash(self.block_hash, hash_length)
+        return f"{prefix}; t={self.timestamp}; prev={previous}; hash={own}"
+
+
+def make_genesis_block(*, timestamp: int = 0, entries: Optional[Sequence[Entry]] = None) -> Block:
+    """Create the original Genesis Block (block 0, previous hash ``DEADB``)."""
+    return Block(
+        block_number=0,
+        timestamp=timestamp,
+        previous_hash=GENESIS_PREVIOUS_HASH,
+        entries=list(entries or []),
+        block_type=BlockType.NORMAL,
+    )
+
+
+def link_blocks(blocks: Iterable[Block]) -> list[Block]:
+    """Re-link a sequence of blocks so each previous-hash matches its parent.
+
+    Helper for tests and workload generators that build blocks in bulk; the
+    production path always links at append time.
+    """
+    linked: list[Block] = []
+    previous: Optional[Block] = None
+    for block in blocks:
+        if previous is not None:
+            block = Block(
+                block_number=block.block_number,
+                timestamp=block.timestamp,
+                previous_hash=previous.block_hash,
+                entries=list(block.entries),
+                block_type=block.block_type,
+                nonce=block.nonce,
+                redundancy=list(block.redundancy),
+                merged_sequences=list(block.merged_sequences),
+                summary_references=list(block.summary_references),
+            )
+        linked.append(block)
+        previous = block
+    return linked

@@ -1,0 +1,604 @@
+"""The selective-deletion blockchain façade.
+
+:class:`Blockchain` is the primary public API of the library.  It maintains
+the list of *living* blocks, the shifting genesis marker *m*, the deletion
+registry and the pending-entry pool, and it drives the summarizer:
+
+* entries are submitted with :meth:`add_entry` (signed against the configured
+  scheme and validated against the optional entry schema),
+* deletion requests are submitted with :meth:`request_deletion`, which
+  evaluates the paper's authorization rule plus an optional semantic-cohesion
+  checker and records the decision,
+* :meth:`seal_block` turns the pending entries into the next block and —
+  whenever the following slot is a summary position — automatically creates
+  the summary block, merges expiring sequences, shifts the marker and cuts
+  the expired blocks off,
+* :meth:`idle_tick` implements the empty-block progress rule of
+  Section IV-D3.
+
+The class is deliberately independent of any networking: anchor nodes in
+:mod:`repro.network` each hold their own :class:`Blockchain` replica and rely
+on the determinism of sealing to stay in sync, exactly as Section IV-B
+prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+from repro.core.block import Block, BlockType, make_genesis_block
+from repro.core.clock import Clock, LogicalClock
+from repro.core.config import ChainConfig
+from repro.core.deletion import (
+    Authorizer,
+    DeletionDecision,
+    DeletionRegistry,
+    DeletionStatus,
+    build_deletion_request,
+    default_authorizer,
+)
+from repro.core.entry import Entry, EntryKind, EntryReference
+from repro.core.errors import ChainIntegrityError, DeletionError, SchemaError
+from repro.core.schema import EntrySchema
+from repro.core.sequence import (
+    SequenceView,
+    is_summary_slot,
+    partition_into_sequences,
+)
+from repro.core.summarizer import Summarizer, SummaryResult
+from repro.core.retention import needs_empty_block
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_scheme
+
+#: A semantic-cohesion checker receives the target reference, the chain and
+#: the requesting participant, and returns (allowed, reason) — Section IV-D2.
+CohesionChecker = Callable[[EntryReference, "Blockchain", str], tuple[bool, str]]
+
+
+@dataclass
+class ChainEvent:
+    """One line of the chain's audit trail (marker shifts, merges, drops)."""
+
+    block_number: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[block {self.block_number}] {self.kind}: {self.detail}"
+
+
+class Blockchain:
+    """A blockchain with summary blocks, sequences and selective deletion."""
+
+    def __init__(
+        self,
+        config: Optional[ChainConfig] = None,
+        *,
+        clock: Optional[Clock] = None,
+        schema: Optional[EntrySchema] = None,
+        authorizer: Optional[Authorizer] = None,
+        cohesion_checker: Optional[CohesionChecker] = None,
+        admins: Iterable[str] = (),
+        block_finalizer: Optional[Callable[[Block], Block]] = None,
+    ) -> None:
+        self.config = config or ChainConfig()
+        self.clock = clock or LogicalClock()
+        self.schema = schema
+        self.scheme = new_scheme(self.config.signature_scheme)
+        self.registry = DeletionRegistry()
+        self.summarizer = Summarizer(self.config)
+        self.cohesion_checker = cohesion_checker
+        self.authorizer = authorizer or default_authorizer(
+            admins=admins,
+            allow_admin_foreign_deletion=self.config.allow_foreign_deletion_by_admin,
+        )
+        #: Hook applied to every freshly built *normal* block before it is
+        #: appended — consensus engines use it to mine or seal the block.
+        #: Summary blocks bypass the hook because every anchor node must be
+        #: able to compute them deterministically on its own (Section IV-B).
+        self.block_finalizer = block_finalizer
+        self.events: list[ChainEvent] = []
+
+        self._blocks: list[Block] = []
+        self._genesis_marker = 0
+        self._pending: list[Entry] = []
+        self._total_blocks_created = 0
+        self._deleted_block_count = 0
+        self._deleted_entry_count = 0
+
+        genesis = make_genesis_block(timestamp=self.clock.now())
+        self._append(genesis)
+        self._create_due_summary_blocks()
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def blocks(self) -> list[Block]:
+        """The living blocks, oldest first (a copy; mutations are ignored)."""
+        return list(self._blocks)
+
+    @property
+    def head(self) -> Block:
+        """The newest block."""
+        return self._blocks[-1]
+
+    @property
+    def genesis(self) -> Block:
+        """The current (possibly shifted) Genesis Block."""
+        return self._blocks[0]
+
+    @property
+    def genesis_marker(self) -> int:
+        """Block number the genesis marker *m* currently points at."""
+        return self._genesis_marker
+
+    @property
+    def length(self) -> int:
+        """Number of living blocks (the paper's l_β)."""
+        return len(self._blocks)
+
+    @property
+    def next_block_number(self) -> int:
+        """Block number the next appended block will receive."""
+        return self.head.block_number + 1
+
+    @property
+    def total_blocks_created(self) -> int:
+        """Blocks ever appended, including blocks that have been cut off."""
+        return self._total_blocks_created
+
+    @property
+    def deleted_block_count(self) -> int:
+        """Blocks physically removed from the chain so far."""
+        return self._deleted_block_count
+
+    @property
+    def deleted_entry_count(self) -> int:
+        """Entries dropped (not carried forward) during summarisation."""
+        return self._deleted_entry_count
+
+    @property
+    def pending_entries(self) -> list[Entry]:
+        """Entries submitted but not yet sealed into a block."""
+        return list(self._pending)
+
+    def entry_count(self) -> int:
+        """Total number of entries currently stored in living blocks."""
+        return sum(block.entry_count for block in self._blocks)
+
+    def byte_size(self) -> int:
+        """Approximate serialised size of the living chain in bytes."""
+        return sum(block.byte_size() for block in self._blocks)
+
+    def sequences(self) -> list[SequenceView]:
+        """Partition of the living chain into sequences ω."""
+        return partition_into_sequences(self._blocks, self.config.sequence_length)
+
+    def completed_sequence_count(self) -> int:
+        """Number of living sequences already closed by a summary block."""
+        return sum(1 for view in self.sequences() if view.is_complete)
+
+    def block_by_number(self, block_number: int) -> Block:
+        """Return the living block with ``block_number``.
+
+        Raises :class:`KeyError` for block numbers before the marker (deleted)
+        or after the head.
+        """
+        index = block_number - self._genesis_marker
+        if index < 0 or index >= len(self._blocks):
+            raise KeyError(f"block {block_number} is not part of the living chain")
+        block = self._blocks[index]
+        if block.block_number != block_number:
+            raise ChainIntegrityError(
+                f"block numbering is inconsistent: expected {block_number}, found {block.block_number}"
+            )
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Entry submission
+    # ------------------------------------------------------------------ #
+
+    def add_entry(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        key_pair: Optional[KeyPair] = None,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        validate_schema: bool = True,
+    ) -> Entry:
+        """Sign an entry and place it in the pending pool.
+
+        The entry becomes part of the chain with the next :meth:`seal_block`.
+        """
+        if validate_schema and self.schema is not None:
+            self.schema.validate(data)
+        entry = Entry(
+            data=dict(data),
+            author=author,
+            signature="",
+            kind=EntryKind.DATA,
+            expires_at_time=expires_at_time,
+            expires_at_block=expires_at_block,
+        )
+        entry = self._sign(entry, author, key_pair)
+        self._pending.append(entry)
+        return entry
+
+    def submit_signed_entry(
+        self,
+        entry: Entry,
+        *,
+        validate_schema: bool = True,
+    ) -> Optional[DeletionDecision]:
+        """Accept an entry that was already signed by the submitting client.
+
+        This is the path the anchor nodes use for entries arriving over the
+        network: the client produced the signature, the node validates it,
+        evaluates deletion requests, and queues the entry for the next block.
+        Returns the deletion decision for deletion requests, ``None``
+        otherwise.
+        """
+        from repro.core.validation import validate_entry_signature
+
+        validate_entry_signature(entry, self.config.signature_scheme)
+        if entry.is_deletion_request:
+            reference = entry.deletion_target()
+            approved, reason = self._evaluate_deletion(entry, reference)
+            self._pending.append(entry)
+            decision = self.registry.record_request(entry, approved=approved, reason=reason)
+            self._record_event(
+                "deletion-approved" if approved else "deletion-rejected",
+                f"{entry.author} requested deletion of {reference}: {reason}",
+            )
+            return decision
+        if validate_schema and self.schema is not None:
+            self.schema.validate(entry.data)
+        self._pending.append(entry)
+        return None
+
+    def request_deletion(
+        self,
+        target: Union[EntryReference, tuple[int, int]],
+        author: str,
+        *,
+        key_pair: Optional[KeyPair] = None,
+        reason: str = "",
+        strict: bool = False,
+    ) -> DeletionDecision:
+        """Submit a signed deletion request for ``target``.
+
+        The request entry is always added to the pending pool (the paper
+        stores even ineffective requests); the returned decision states
+        whether the quorum approved it.  With ``strict=True`` a rejected
+        request raises instead.
+        """
+        reference = target if isinstance(target, EntryReference) else EntryReference(*target)
+        request = build_deletion_request(reference, author=author, signature="", reason=reason)
+        request = self._sign(request, author, key_pair)
+
+        approved, decision_reason = self._evaluate_deletion(request, reference)
+        self._pending.append(request)
+        decision = self.registry.record_request(request, approved=approved, reason=decision_reason)
+        self._record_event(
+            "deletion-approved" if approved else "deletion-rejected",
+            f"{author} requested deletion of {reference}: {decision_reason}",
+        )
+        if strict and not approved:
+            raise DeletionError(decision_reason)
+        return decision
+
+    def _evaluate_deletion(self, request: Entry, reference: EntryReference) -> tuple[bool, str]:
+        located = self.find_entry(reference)
+        if located is None:
+            return False, f"target {reference} does not exist in the living chain"
+        _, target_entry = located
+        if target_entry.is_deletion_request:
+            return False, "deletion requests cannot themselves be deleted"
+        allowed, reason = self.authorizer(request, target_entry)
+        if not allowed:
+            return False, reason
+        if self.cohesion_checker is not None:
+            cohesive, cohesion_reason = self.cohesion_checker(reference, self, request.author)
+            if not cohesive:
+                return False, f"semantic cohesion violated: {cohesion_reason}"
+        return True, reason
+
+    def _sign(self, entry: Entry, author: str, key_pair: Optional[KeyPair]) -> Entry:
+        signed = self.scheme.sign(entry.signing_payload(), author, key_pair)
+        return Entry(
+            data=entry.data,
+            author=author,
+            signature=signed.signature,
+            public_key=signed.public_key,
+            kind=entry.kind,
+            expires_at_time=entry.expires_at_time,
+            expires_at_block=entry.expires_at_block,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Block production
+    # ------------------------------------------------------------------ #
+
+    def seal_block(self) -> Block:
+        """Seal the pending entries into the next normal block.
+
+        Afterwards any due summary block is created automatically, which may
+        merge expiring sequences, shift the genesis marker and physically cut
+        old blocks off.
+        """
+        block = Block(
+            block_number=self.next_block_number,
+            timestamp=self.clock.now(),
+            previous_hash=self.head.block_hash,
+            entries=list(self._pending),
+            block_type=BlockType.NORMAL,
+        )
+        if self.block_finalizer is not None:
+            block = self.block_finalizer(block)
+        self._pending = []
+        self._append(block)
+        self._create_due_summary_blocks()
+        return block
+
+    def receive_block(self, block: Block) -> Block:
+        """Adopt a normal block produced by another anchor node.
+
+        Replicas append the received block as-is (keeping its timestamp and
+        consensus seal), register any deletion requests it contains, and then
+        compute the due summary block locally — the paper's synchronisation
+        model of Section IV-B.  Summary blocks are rejected: they *"do not
+        need to be propagated"* and must be computed by every node itself.
+        """
+        if block.is_summary:
+            raise ChainIntegrityError("summary blocks are computed locally, never received")
+        if is_summary_slot(block.block_number, self.config.sequence_length):
+            raise ChainIntegrityError(
+                f"received block {block.block_number} occupies a summary slot"
+            )
+        self._append(block)
+        for entry in block.entries:
+            if entry.is_deletion_request:
+                approved, reason = self._evaluate_deletion(entry, entry.deletion_target())
+                self.registry.record_request(entry, approved=approved, reason=reason)
+                self._record_event(
+                    "deletion-approved" if approved else "deletion-rejected",
+                    f"replicated deletion request by {entry.author}: {reason}",
+                )
+        self._create_due_summary_blocks()
+        return block
+
+    def add_entry_block(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        **entry_kwargs: Any,
+    ) -> Block:
+        """Convenience: submit a single entry and immediately seal the block.
+
+        This is how the paper's evaluation operates — every login event
+        becomes one block.
+        """
+        self.add_entry(data, author, **entry_kwargs)
+        return self.seal_block()
+
+    def idle_tick(self) -> Optional[Block]:
+        """Append an empty block if the configured idle interval elapsed.
+
+        Returns the appended block (possibly followed by an automatic summary
+        block) or ``None`` when no action was needed.
+        """
+        if self._pending:
+            return None
+        if not needs_empty_block(
+            self.config,
+            last_block_timestamp=self.head.timestamp,
+            current_time=self._peek_time(),
+        ):
+            return None
+        self._record_event("empty-block", "idle interval elapsed; appending empty block")
+        return self.seal_block()
+
+    def _peek_time(self) -> int:
+        peek = getattr(self.clock, "peek", None)
+        if callable(peek):
+            return peek()
+        return self.clock.now()
+
+    def _append(self, block: Block) -> None:
+        if self._blocks:
+            if block.block_number != self.head.block_number + 1:
+                raise ChainIntegrityError(
+                    f"expected block number {self.head.block_number + 1}, got {block.block_number}"
+                )
+            if block.previous_hash != self.head.block_hash:
+                raise ChainIntegrityError("previous hash does not match the current head")
+        self._blocks.append(block)
+        self._total_blocks_created += 1
+
+    def _create_due_summary_blocks(self) -> None:
+        while is_summary_slot(self.next_block_number, self.config.sequence_length):
+            self._create_summary_block()
+
+    def _create_summary_block(self) -> SummaryResult:
+        result = self.summarizer.build_summary_block(
+            sequences=self.sequences(),
+            previous_block=self.head,
+            next_block_number=self.next_block_number,
+            registry=self.registry,
+            current_time=self._peek_time(),
+        )
+        self._append(result.block)
+        self._record_event(
+            "summary-block",
+            f"summary block {result.block.block_number} created "
+            f"({len(result.carried_entries)} entries carried, {len(result.dropped_entries)} dropped)",
+        )
+        if result.shifted_marker:
+            self._apply_marker_shift(result)
+        return result
+
+    def _apply_marker_shift(self, result: SummaryResult) -> None:
+        assert result.new_marker is not None
+        new_marker = result.new_marker
+        cut_off = [block for block in self._blocks if block.block_number < new_marker]
+        self._blocks = [block for block in self._blocks if block.block_number >= new_marker]
+        self._genesis_marker = new_marker
+        self._deleted_block_count += len(cut_off)
+        self._deleted_entry_count += len(result.dropped_entries)
+        for dropped in result.dropped_entries:
+            if self.registry.is_marked_entry(dropped.entry, dropped.block_number):
+                try:
+                    self.registry.mark_executed(dropped.entry.reference_in(dropped.block_number))
+                except DeletionError:
+                    pass
+        merged = ", ".join(str(view.index) for view in result.expired_sequences)
+        self._record_event(
+            "marker-shift",
+            f"sequences [{merged}] merged into block {result.block.block_number}; "
+            f"genesis marker moved to block {new_marker}; {len(cut_off)} blocks deleted",
+        )
+
+    def _record_event(self, kind: str, detail: str) -> None:
+        self.events.append(ChainEvent(block_number=self.head.block_number, kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def find_entry(self, reference: EntryReference) -> Optional[tuple[Block, Entry]]:
+        """Locate an entry by its original (block number, entry number).
+
+        Looks first at the original block if it is still living, then at
+        carried-forward copies inside summary blocks.  Returns ``None`` when
+        the entry does not exist (anymore).
+        """
+        try:
+            block = self.block_by_number(reference.block_number)
+        except (KeyError, ChainIntegrityError):
+            block = None
+        if block is not None:
+            try:
+                return block, block.entry(reference.entry_number)
+            except KeyError:
+                pass
+        for candidate in reversed(self._blocks):
+            if not candidate.is_summary:
+                continue
+            copy = candidate.find_copy_of(reference.block_number, reference.entry_number)
+            if copy is not None:
+                return candidate, copy
+        return None
+
+    def entry_exists(self, reference: EntryReference) -> bool:
+        """True when the referenced entry is still retrievable from the chain."""
+        return self.find_entry(reference) is not None
+
+    def is_marked_for_deletion(self, reference: EntryReference) -> bool:
+        """True when the entry is approved for (delayed) deletion.
+
+        Applications must refuse new transactions that depend on marked data
+        (Section IV-D3: *"Subsequent incoming transactions based on this
+        marked data are no longer permitted"*).
+        """
+        return self.registry.is_marked(reference)
+
+    def iter_entries(self) -> Iterable[tuple[Block, Entry]]:
+        """Iterate over every (block, entry) pair in the living chain."""
+        for block in self._blocks:
+            for entry in block.entries:
+                yield block, entry
+
+    # ------------------------------------------------------------------ #
+    # Validation and persistence
+    # ------------------------------------------------------------------ #
+
+    def validate(self, *, verify_signatures: bool = False) -> None:
+        """Validate the living chain; raises on inconsistency."""
+        from repro.core.validation import validate_chain
+
+        validate_chain(
+            self._blocks,
+            config=self.config,
+            genesis_marker=self._genesis_marker,
+            verify_signatures=verify_signatures,
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """Operational counters used by reports and benchmarks."""
+        return {
+            "living_blocks": self.length,
+            "living_entries": self.entry_count(),
+            "total_blocks_created": self._total_blocks_created,
+            "deleted_blocks": self._deleted_block_count,
+            "dropped_entries": self._deleted_entry_count,
+            "genesis_marker": self._genesis_marker,
+            "byte_size": self.byte_size(),
+            "completed_sequences": self.completed_sequence_count(),
+            "deletions": self.registry.statistics(),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the full chain state (blocks, marker, registry, config)."""
+        return {
+            "config": self.config.to_dict(),
+            "genesis_marker": self._genesis_marker,
+            "total_blocks_created": self._total_blocks_created,
+            "deleted_block_count": self._deleted_block_count,
+            "deleted_entry_count": self._deleted_entry_count,
+            "blocks": [block.to_dict() for block in self._blocks],
+            "registry": self.registry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        clock: Optional[Clock] = None,
+        schema: Optional[EntrySchema] = None,
+        authorizer: Optional[Authorizer] = None,
+        cohesion_checker: Optional[CohesionChecker] = None,
+        admins: Iterable[str] = (),
+    ) -> "Blockchain":
+        """Restore a chain previously serialised with :meth:`to_dict`."""
+        config = ChainConfig.from_dict(payload["config"])
+        chain = cls.__new__(cls)
+        chain.config = config
+        chain.clock = clock or LogicalClock(start=0)
+        chain.schema = schema
+        chain.scheme = new_scheme(config.signature_scheme)
+        chain.registry = DeletionRegistry.from_dict(payload.get("registry", {}))
+        chain.summarizer = Summarizer(config)
+        chain.cohesion_checker = cohesion_checker
+        chain.authorizer = authorizer or default_authorizer(
+            admins=admins,
+            allow_admin_foreign_deletion=config.allow_foreign_deletion_by_admin,
+        )
+        chain.block_finalizer = None
+        chain.events = []
+        chain._blocks = [Block.from_dict(item) for item in payload.get("blocks", ())]
+        chain._genesis_marker = int(payload.get("genesis_marker", 0))
+        chain._pending = []
+        chain._total_blocks_created = int(payload.get("total_blocks_created", len(chain._blocks)))
+        chain._deleted_block_count = int(payload.get("deleted_block_count", 0))
+        chain._deleted_entry_count = int(payload.get("deleted_entry_count", 0))
+        if not chain._blocks:
+            raise ChainIntegrityError("serialised chain contains no blocks")
+        # Restore the clock to continue after the last timestamp.
+        if isinstance(chain.clock, LogicalClock) and clock is None:
+            chain.clock = LogicalClock(start=chain._blocks[-1].timestamp + 1)
+        return chain
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (
+            f"Blockchain(length={self.length}, marker={self._genesis_marker}, "
+            f"head={self.head.block_number}, sequences={len(self.sequences())})"
+        )

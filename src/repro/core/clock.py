@@ -1,0 +1,78 @@
+"""Clocks.
+
+Block timestamps drive two paper mechanisms: summary blocks reuse the
+timestamp of the preceding block (Section IV-B), and temporary entries as
+well as time-based retention compare against the current time
+(Sections IV-D3 and IV-D4).  To keep everything deterministic and testable
+the chain takes an injectable clock; the default :class:`LogicalClock` simply
+counts ticks, while :class:`SystemClock` uses wall-clock seconds for
+deployments that want real timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface: a monotonically non-decreasing integer time."""
+
+    def now(self) -> int:
+        """Return the current time."""
+        ...  # pragma: no cover
+
+
+class LogicalClock:
+    """Deterministic tick counter advancing by ``step`` on every reading.
+
+    Reading the time advances it, so consecutive blocks naturally receive
+    increasing timestamps without any wall-clock dependence.  Tests and
+    workload generators can also advance the clock explicitly to model idle
+    periods (which is what triggers empty blocks, Section IV-D3).
+    """
+
+    def __init__(self, start: int = 0, step: int = 1) -> None:
+        if step < 0:
+            raise ValueError("clock step must be non-negative")
+        self._current = start
+        self._step = step
+
+    def now(self) -> int:
+        """Return the current tick and advance by the configured step."""
+        value = self._current
+        self._current += self._step
+        return value
+
+    def peek(self) -> int:
+        """Return the next tick without advancing."""
+        return self._current
+
+    def advance(self, ticks: int) -> None:
+        """Jump the clock forward by ``ticks`` (models idle time)."""
+        if ticks < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._current += ticks
+
+
+class FixedClock:
+    """A clock frozen at a single value (useful for golden-output tests)."""
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+
+    def now(self) -> int:
+        """Return the frozen value."""
+        return self._value
+
+    def set(self, value: int) -> None:
+        """Move the frozen value."""
+        self._value = value
+
+
+class SystemClock:
+    """Wall-clock seconds since the epoch, as integers."""
+
+    def now(self) -> int:
+        """Return ``int(time.time())``."""
+        return int(time.time())

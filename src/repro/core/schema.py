@@ -1,0 +1,249 @@
+"""Entry schemas.
+
+Section V of the paper states that *"the structure of a data entry is
+specified beforehand by a YAML schema"*.  This module provides a small,
+dependency-free schema engine:
+
+* :class:`FieldSpec` describes one field (name, type, required, bounds),
+* :class:`EntrySchema` validates entry data dictionaries against a set of
+  field specs,
+* :func:`parse_schema_yaml` reads the YAML subset needed for schema files
+  (nested two-level mappings with scalar values), so deployments can keep
+  their schemas in plain-text files exactly as the paper suggests without
+  pulling in a YAML dependency.
+
+The default schema mirrors the console figures: a data record ``D``, the
+user ``K`` and the signature ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.errors import SchemaError
+
+#: Mapping of schema type names to the Python types they accept.
+_TYPE_MAP: dict[str, tuple[type, ...]] = {
+    "str": (str,),
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "any": (object,),
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Description of a single entry field.
+
+    Attributes
+    ----------
+    name:
+        Field key inside the entry data dictionary.
+    type_name:
+        One of ``str``, ``int``, ``float``, ``bool`` or ``any``.
+    required:
+        Whether the field must be present.
+    max_length:
+        Optional maximum length for string fields.
+    description:
+        Free-text documentation carried along for reporting.
+    """
+
+    name: str
+    type_name: str = "any"
+    required: bool = True
+    max_length: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name must not be empty")
+        if self.type_name not in _TYPE_MAP:
+            known = ", ".join(sorted(_TYPE_MAP))
+            raise SchemaError(f"unknown field type {self.type_name!r}; known types: {known}")
+        if self.max_length is not None and self.max_length <= 0:
+            raise SchemaError("max_length must be positive when set")
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` when ``value`` does not fit this spec."""
+        expected = _TYPE_MAP[self.type_name]
+        if self.type_name == "int" and isinstance(value, bool):
+            raise SchemaError(f"field {self.name!r} expects int, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"field {self.name!r} expects {self.type_name}, got {type(value).__name__}"
+            )
+        if self.max_length is not None and isinstance(value, str) and len(value) > self.max_length:
+            raise SchemaError(
+                f"field {self.name!r} exceeds max_length {self.max_length} ({len(value)} chars)"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "required": self.required,
+            "max_length": self.max_length,
+            "description": self.description,
+        }
+
+
+@dataclass
+class EntrySchema:
+    """A named collection of field specs that entry data must satisfy."""
+
+    name: str = "entry"
+    fields: tuple[FieldSpec, ...] = ()
+    allow_extra_fields: bool = False
+
+    def field_names(self) -> list[str]:
+        """Names of all declared fields, in declaration order."""
+        return [spec.name for spec in self.fields]
+
+    def validate(self, data: Mapping[str, Any]) -> None:
+        """Validate an entry data mapping; raise :class:`SchemaError` on failure."""
+        if not isinstance(data, Mapping):
+            raise SchemaError(f"entry data must be a mapping, got {type(data).__name__}")
+        declared = {spec.name: spec for spec in self.fields}
+        for spec in self.fields:
+            if spec.name not in data:
+                if spec.required:
+                    raise SchemaError(f"schema {self.name!r}: missing required field {spec.name!r}")
+                continue
+            spec.validate(data[spec.name])
+        if not self.allow_extra_fields:
+            extras = [key for key in data if key not in declared]
+            if extras:
+                raise SchemaError(
+                    f"schema {self.name!r}: unexpected fields {sorted(extras)!r}"
+                )
+
+    def is_valid(self, data: Mapping[str, Any]) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(data)
+        except SchemaError:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "allow_extra_fields": self.allow_extra_fields,
+            "fields": [spec.to_dict() for spec in self.fields],
+        }
+
+
+def _parse_scalar(raw: str) -> Any:
+    """Interpret a YAML scalar: bool, int, null or bare/quoted string."""
+    text = raw.strip()
+    if text.startswith(("'", '"')) and text.endswith(("'", '"')) and len(text) >= 2:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~", ""):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def parse_schema_yaml(text: str, *, name: str = "entry") -> EntrySchema:
+    """Parse the two-level YAML subset used for entry schema files.
+
+    Expected shape::
+
+        D:
+          type: str
+          required: true
+          max_length: 256
+        K:
+          type: str
+        S:
+          type: str
+
+    Comments (``#``) and blank lines are ignored.  Anything deeper than two
+    levels is rejected — schemas are intentionally flat.
+    """
+    fields: list[FieldSpec] = []
+    current_name: Optional[str] = None
+    current_attrs: dict[str, Any] = {}
+
+    def flush() -> None:
+        nonlocal current_name, current_attrs
+        if current_name is None:
+            return
+        fields.append(
+            FieldSpec(
+                name=current_name,
+                type_name=str(current_attrs.get("type", "any")),
+                required=bool(current_attrs.get("required", True)),
+                max_length=current_attrs.get("max_length"),
+                description=str(current_attrs.get("description", "")),
+            )
+        )
+        current_name = None
+        current_attrs = {}
+
+    # Tolerate uniformly indented documents (e.g. schemas embedded in code):
+    # the indentation of the shallowest non-empty line counts as level zero.
+    cleaned_lines = [raw.split("#", 1)[0].rstrip() for raw in text.splitlines()]
+    non_empty = [line for line in cleaned_lines if line.strip()]
+    base_indent = min((len(line) - len(line.lstrip(" "))) for line in non_empty) if non_empty else 0
+
+    for line_number, line in enumerate(cleaned_lines, start=1):
+        if not line.strip():
+            continue
+        indent = (len(line) - len(line.lstrip(" "))) - base_indent
+        stripped = line.strip()
+        if ":" not in stripped:
+            raise SchemaError(f"schema line {line_number}: expected 'key: value', got {stripped!r}")
+        key, _, value = stripped.partition(":")
+        key = key.strip()
+        if indent == 0:
+            if value.strip():
+                raise SchemaError(
+                    f"schema line {line_number}: top-level field {key!r} must not have an inline value"
+                )
+            flush()
+            current_name = key
+        elif current_name is not None:
+            current_attrs[key] = _parse_scalar(value)
+        else:
+            raise SchemaError(f"schema line {line_number}: attribute {key!r} outside of a field block")
+    flush()
+
+    if not fields:
+        raise SchemaError("schema text declares no fields")
+    return EntrySchema(name=name, fields=tuple(fields))
+
+
+def default_log_schema() -> EntrySchema:
+    """Schema of the paper's logging scenario: D (record), K (user), S (signature)."""
+    return EntrySchema(
+        name="login-log",
+        fields=(
+            FieldSpec(name="D", type_name="str", required=True, description="data record"),
+            FieldSpec(name="K", type_name="str", required=True, description="user / key holder"),
+            FieldSpec(name="S", type_name="str", required=True, description="signature"),
+        ),
+        allow_extra_fields=True,
+    )
+
+
+def schema_from_fields(name: str, field_types: Mapping[str, str], *, required: Iterable[str] = ()) -> EntrySchema:
+    """Build a schema programmatically from a ``{field: type}`` mapping."""
+    required_set = set(required) or set(field_types)
+    specs = tuple(
+        FieldSpec(name=field_name, type_name=type_name, required=field_name in required_set)
+        for field_name, type_name in field_types.items()
+    )
+    return EntrySchema(name=name, fields=specs)

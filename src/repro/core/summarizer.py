@@ -1,0 +1,215 @@
+"""Construction of summary blocks Σ.
+
+The summarizer implements Section IV-B/IV-C: at every summary slot it builds
+a block that
+
+* carries the same timestamp as the block before it,
+* consists of deterministic information only (so every anchor node computes
+  an identical block without propagation),
+* absorbs the data of every sequence selected for expiry — copying block
+  number, timestamp and entry number of each retained entry (Fig. 4) while
+  skipping deletion requests, entries marked for deletion and expired
+  temporary entries,
+* optionally stores only Merkle references instead of full copies
+  (Section V-B2), and
+* optionally embeds redundancy material for a middle sequence to hamper the
+  51 % attack (Section V-B1, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.block import Block, BlockType, RedundancyRecord
+from repro.core.config import ChainConfig, RedundancyPolicy, SummaryMode
+from repro.core.deletion import DeletionRegistry
+from repro.core.entry import Entry
+from repro.core.retention import entry_survives, select_sequences_to_expire
+from repro.core.sequence import SequenceView, middle_sequence
+from repro.crypto.merkle import merkle_root
+
+
+@dataclass(frozen=True)
+class DroppedEntry:
+    """An entry that was *not* carried forward, together with the reason."""
+
+    block_number: int
+    entry: Entry
+    reason: str
+
+
+@dataclass
+class SummaryResult:
+    """Everything produced by one summarisation step."""
+
+    block: Block
+    expired_sequences: list[SequenceView] = field(default_factory=list)
+    carried_entries: list[Entry] = field(default_factory=list)
+    dropped_entries: list[DroppedEntry] = field(default_factory=list)
+    new_marker: Optional[int] = None
+
+    @property
+    def shifted_marker(self) -> bool:
+        """True when the genesis marker moves as part of this step."""
+        return self.new_marker is not None
+
+
+class Summarizer:
+    """Builds summary blocks for a configured chain."""
+
+    def __init__(self, config: ChainConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Entry selection
+    # ------------------------------------------------------------------ #
+
+    def collect_entries(
+        self,
+        expiring: list[SequenceView],
+        registry: DeletionRegistry,
+        *,
+        current_time: int,
+        current_block: int,
+    ) -> tuple[list[Entry], list[DroppedEntry]]:
+        """Split the expiring sequences' entries into carried and dropped."""
+        carried: list[Entry] = []
+        dropped: list[DroppedEntry] = []
+        for view in expiring:
+            for block, entry in view.entries():
+                survives, reason = entry_survives(
+                    entry,
+                    containing_block_number=block.block_number,
+                    registry=registry,
+                    current_time=current_time,
+                    current_block=current_block,
+                )
+                if survives:
+                    carried.append(
+                        entry.as_copy(
+                            origin_block_number=block.block_number,
+                            origin_timestamp=block.timestamp,
+                        )
+                    )
+                else:
+                    dropped.append(
+                        DroppedEntry(block_number=block.block_number, entry=entry, reason=reason)
+                    )
+        return carried, dropped
+
+    # ------------------------------------------------------------------ #
+    # Redundancy (Fig. 9)
+    # ------------------------------------------------------------------ #
+
+    def build_redundancy(
+        self,
+        remaining: list[SequenceView],
+        expiring: list[SequenceView],
+    ) -> list[RedundancyRecord]:
+        """Build the redundancy records for the new summary block.
+
+        The paper stores *"the sequence to be deleted and the reference to a
+        middle sequence"*; the deleted sequences' data is already inside the
+        summary block via the carried entries, so the redundancy records
+        cover the middle sequence of the remaining chain.
+        """
+        if self.config.redundancy is RedundancyPolicy.NONE:
+            return []
+        candidates = [view for view in remaining if view.is_complete]
+        target = middle_sequence(candidates)
+        if target is None and candidates:
+            target = candidates[0]
+        if target is None:
+            return []
+        if self.config.redundancy is RedundancyPolicy.MIDDLE_MERKLE_ROOT:
+            return [
+                RedundancyRecord(
+                    sequence_index=target.index,
+                    first_block_number=target.first_block_number,
+                    last_block_number=target.last_block_number,
+                    merkle_root=target.merkle_root(),
+                )
+            ]
+        entries = tuple(
+            entry.as_copy(origin_block_number=block.block_number, origin_timestamp=block.timestamp)
+            for block, entry in target.data_entries()
+        )
+        return [
+            RedundancyRecord(
+                sequence_index=target.index,
+                first_block_number=target.first_block_number,
+                last_block_number=target.last_block_number,
+                merkle_root=target.merkle_root(),
+                entries=entries,
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Summary block construction
+    # ------------------------------------------------------------------ #
+
+    def build_summary_block(
+        self,
+        *,
+        sequences: list[SequenceView],
+        previous_block: Block,
+        next_block_number: int,
+        registry: DeletionRegistry,
+        current_time: int,
+    ) -> SummaryResult:
+        """Build the summary block that closes the current sequence.
+
+        ``sequences`` is the partition of the living chain (oldest first,
+        the last one being the sequence the new summary block terminates).
+        """
+        expiring = select_sequences_to_expire(self.config, sequences)
+        carried, dropped = self.collect_entries(
+            expiring,
+            registry,
+            current_time=current_time,
+            current_block=next_block_number,
+        )
+        remaining = [view for view in sequences if not any(view is gone for gone in expiring)]
+
+        entries: list[Entry] = []
+        summary_references: list[dict] = []
+        if self.config.summary_mode is SummaryMode.FULL_COPY:
+            entries = carried
+        else:
+            for view in expiring:
+                retained_in_view = [
+                    entry
+                    for entry in carried
+                    if entry.origin_block_number is not None
+                    and view.first_block_number <= entry.origin_block_number <= view.last_block_number
+                ]
+                summary_references.append(
+                    {
+                        "sequence_index": view.index,
+                        "first_block_number": view.first_block_number,
+                        "last_block_number": view.last_block_number,
+                        "entry_count": len(retained_in_view),
+                        "merkle_root": merkle_root([entry.to_dict() for entry in retained_in_view]),
+                    }
+                )
+
+        block = Block(
+            block_number=next_block_number,
+            timestamp=previous_block.timestamp,
+            previous_hash=previous_block.block_hash,
+            entries=entries,
+            block_type=BlockType.SUMMARY,
+            redundancy=self.build_redundancy(remaining, expiring),
+            merged_sequences=[view.index for view in expiring],
+            summary_references=summary_references,
+        )
+
+        new_marker = expiring[-1].last_block_number + 1 if expiring else None
+        return SummaryResult(
+            block=block,
+            expired_sequences=expiring,
+            carried_entries=carried,
+            dropped_entries=dropped,
+            new_marker=new_marker,
+        )

@@ -1,0 +1,153 @@
+"""Chameleon hash with trapdoor, for the redactable-chain baseline.
+
+Section III of the paper discusses related work on redactable blockchains
+built from chameleon hashes (Ateniese et al.; Camenisch et al.'s
+chameleon-hashes with ephemeral trapdoors) and argues they *"leave the
+responsibility with the key owners and produce a lot [of] effort"*.  To make
+that comparison concrete, the baseline package implements a working
+chameleon-hash redactable chain; this module supplies the primitive.
+
+The construction is the classic discrete-log chameleon hash over a
+Schnorr-style prime-order subgroup:
+
+* public parameters: a safe prime ``p = 2q + 1``, a generator ``g`` of the
+  order-``q`` subgroup, and a public key ``h = g^x mod p``,
+* trapdoor: the exponent ``x``,
+* hash:   ``CH(m, r) = g^H(m) * h^r mod p``,
+* collision (requires the trapdoor): given ``(m, r)`` and a new message
+  ``m'``, output ``r' = r + (H(m) - H(m')) / x  (mod q)`` so that
+  ``CH(m', r') == CH(m, r)``.
+
+Whoever holds the trapdoor can rewrite a block's content without changing its
+hash — which is exactly the centralisation-of-trust drawback the paper's
+concept avoids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import canonical_json
+
+#: A 1024-bit safe prime (p = 2q + 1 with q prime), fixed so parameter
+#: generation is instantaneous and deterministic for tests and benchmarks.
+#: This is the well-known RFC 2409 Oakley Group 2 prime, which is a safe prime.
+DEFAULT_SAFE_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381"
+    "FFFFFFFFFFFFFFFF",
+    16,
+)
+
+#: Generator of the order-q subgroup: 4 = 2^2 is always a quadratic residue,
+#: hence generates the subgroup of order q for a safe prime p = 2q + 1.
+DEFAULT_GENERATOR = 4
+
+
+def _message_digest(message: Any, q: int) -> int:
+    """Map an arbitrary JSON-serialisable message into Z_q."""
+    digest = hashlib.sha256(canonical_json(message).encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % q
+
+
+@dataclass(frozen=True)
+class ChameleonParameters:
+    """Public parameters plus (optionally secret) trapdoor of a chameleon hash."""
+
+    p: int
+    q: int
+    g: int
+    public_key: int
+    trapdoor: int
+
+    def public_only(self) -> "ChameleonParameters":
+        """Return a copy with the trapdoor removed (set to 0)."""
+        return ChameleonParameters(p=self.p, q=self.q, g=self.g, public_key=self.public_key, trapdoor=0)
+
+    @property
+    def has_trapdoor(self) -> bool:
+        """True when the trapdoor exponent is present."""
+        return self.trapdoor != 0
+
+
+@dataclass(frozen=True)
+class Collision:
+    """Result of a redaction: the new randomness keeping the digest unchanged."""
+
+    new_message_digest: int
+    new_randomness: int
+    digest: int
+
+
+class ChameleonHash:
+    """Discrete-log chameleon hash with trapdoor-based collision finding."""
+
+    def __init__(self, parameters: ChameleonParameters) -> None:
+        self.parameters = parameters
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        p: int = DEFAULT_SAFE_PRIME,
+        g: int = DEFAULT_GENERATOR,
+        trapdoor: int | None = None,
+    ) -> "ChameleonHash":
+        """Create an instance with a fresh (or supplied) trapdoor."""
+        q = (p - 1) // 2
+        if trapdoor is None:
+            trapdoor = secrets.randbelow(q - 2) + 2
+        if not 2 <= trapdoor < q:
+            raise ValueError("trapdoor out of range")
+        public_key = pow(g, trapdoor, p)
+        return cls(ChameleonParameters(p=p, q=q, g=g, public_key=public_key, trapdoor=trapdoor))
+
+    @classmethod
+    def from_seed(cls, seed: str, *, p: int = DEFAULT_SAFE_PRIME, g: int = DEFAULT_GENERATOR) -> "ChameleonHash":
+        """Derive the trapdoor deterministically from a seed (for tests)."""
+        q = (p - 1) // 2
+        digest = hashlib.sha256(f"chameleon:{seed}".encode("utf-8")).digest()
+        trapdoor = (int.from_bytes(digest, "big") % (q - 2)) + 2
+        return cls.generate(p=p, g=g, trapdoor=trapdoor)
+
+    def random_nonce(self) -> int:
+        """Sample fresh hashing randomness r from Z_q."""
+        return secrets.randbelow(self.parameters.q - 1) + 1
+
+    def digest(self, message: Any, randomness: int) -> int:
+        """Compute ``CH(message, randomness) = g^H(m) * h^r mod p``."""
+        params = self.parameters
+        exponent = _message_digest(message, params.q)
+        return (pow(params.g, exponent, params.p) * pow(params.public_key, randomness % params.q, params.p)) % params.p
+
+    def verify(self, message: Any, randomness: int, digest: int) -> bool:
+        """Check that ``(message, randomness)`` hashes to ``digest``."""
+        return self.digest(message, randomness) == digest
+
+    def find_collision(self, old_message: Any, old_randomness: int, new_message: Any) -> Collision:
+        """Compute randomness for ``new_message`` preserving the old digest.
+
+        Requires the trapdoor; without it the operation is computationally
+        infeasible (that is the whole point of a chameleon hash).
+        """
+        params = self.parameters
+        if not params.has_trapdoor:
+            raise PermissionError("collision finding requires the chameleon trapdoor")
+        old_exp = _message_digest(old_message, params.q)
+        new_exp = _message_digest(new_message, params.q)
+        inverse_trapdoor = pow(params.trapdoor, -1, params.q)
+        new_randomness = (old_randomness + (old_exp - new_exp) * inverse_trapdoor) % params.q
+        digest = self.digest(old_message, old_randomness)
+        if self.digest(new_message, new_randomness) != digest:
+            raise ArithmeticError("collision computation failed; parameters are inconsistent")
+        return Collision(new_message_digest=new_exp, new_randomness=new_randomness, digest=digest)
+
+    def public_instance(self) -> "ChameleonHash":
+        """Return a verification-only instance without the trapdoor."""
+        return ChameleonHash(self.parameters.public_only())

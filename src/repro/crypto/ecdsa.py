@@ -1,0 +1,279 @@
+"""Pure-Python ECDSA over secp256k1.
+
+Section IV-D1 of the paper requires that *"a deletion request must be signed
+with the client signature just like a normal entry"* and that the system can
+check *"if the signatures share the same key"*.  The published prototype used
+a "simplified" signature; this module provides a real asymmetric scheme so
+the authorization path is exercised with actual key material, while
+:mod:`repro.crypto.signatures` still offers the paper's simplified mode for
+reproducing the console figures verbatim.
+
+The implementation is deliberately compact but complete:
+
+* affine point arithmetic over the secp256k1 curve,
+* deterministic nonces per RFC 6979 (HMAC-SHA256), so signing is
+  reproducible and testable without an entropy source,
+* low-s normalisation of signatures.
+
+It is *not* hardened against side channels; it exists to make the
+reproduction self-contained, not to protect real funds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CurveParameters:
+    """Domain parameters of a short Weierstrass curve ``y^2 = x^3 + a x + b``."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    g_x: int
+    g_y: int
+    n: int
+    h: int
+
+
+#: The secp256k1 domain parameters (the Bitcoin curve).
+SECP256K1 = CurveParameters(
+    name="secp256k1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F,
+    a=0,
+    b=7,
+    g_x=0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798,
+    g_y=0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141,
+    h=1,
+)
+
+
+class CurvePoint:
+    """An affine point on a short Weierstrass curve (or the point at infinity)."""
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: CurveParameters, x: Optional[int], y: Optional[int]) -> None:
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if not self.is_infinity and not self._on_curve():
+            raise ValueError("point is not on the curve")
+
+    @classmethod
+    def infinity(cls, curve: CurveParameters = SECP256K1) -> "CurvePoint":
+        """Return the neutral element of the group."""
+        return cls(curve, None, None)
+
+    @classmethod
+    def generator(cls, curve: CurveParameters = SECP256K1) -> "CurvePoint":
+        """Return the curve's base point G."""
+        return cls(curve, curve.g_x, curve.g_y)
+
+    @property
+    def is_infinity(self) -> bool:
+        """True for the point at infinity."""
+        return self.x is None or self.y is None
+
+    def _on_curve(self) -> bool:
+        assert self.x is not None and self.y is not None
+        p = self.curve.p
+        return (self.y * self.y - (self.x**3 + self.curve.a * self.x + self.curve.b)) % p == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CurvePoint):
+            return NotImplemented
+        return self.curve.name == other.curve.name and self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"CurvePoint({self.curve.name}, infinity)"
+        return f"CurvePoint({self.curve.name}, x={self.x:#x}, y={self.y:#x})"
+
+    def __neg__(self) -> "CurvePoint":
+        if self.is_infinity:
+            return self
+        assert self.x is not None and self.y is not None
+        return CurvePoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "CurvePoint") -> "CurvePoint":
+        if self.curve.name != other.curve.name:
+            raise ValueError("cannot add points on different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        assert self.x is not None and self.y is not None
+        assert other.x is not None and other.y is not None
+        p = self.curve.p
+        if self.x == other.x and (self.y + other.y) % p == 0:
+            return CurvePoint.infinity(self.curve)
+        if self == other:
+            slope = (3 * self.x * self.x + self.curve.a) * modular_inverse(2 * self.y, p) % p
+        else:
+            slope = (other.y - self.y) * modular_inverse(other.x - self.x, p) % p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return CurvePoint(self.curve, x3, y3)
+
+    def __rmul__(self, scalar: int) -> "CurvePoint":
+        return self.__mul__(scalar)
+
+    def __mul__(self, scalar: int) -> "CurvePoint":
+        """Double-and-add scalar multiplication."""
+        if scalar % self.curve.n == 0 or self.is_infinity:
+            return CurvePoint.infinity(self.curve)
+        if scalar < 0:
+            return (-self) * (-scalar)
+        result = CurvePoint.infinity(self.curve)
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend + addend
+            scalar >>= 1
+        return result
+
+    def encode(self) -> str:
+        """Compressed SEC1 encoding as a hex string (``02``/``03`` prefix)."""
+        if self.is_infinity:
+            return "00"
+        assert self.x is not None and self.y is not None
+        prefix = "02" if self.y % 2 == 0 else "03"
+        return prefix + format(self.x, "064x")
+
+    @classmethod
+    def decode(cls, encoded: str, curve: CurveParameters = SECP256K1) -> "CurvePoint":
+        """Decode a compressed SEC1 hex string."""
+        if encoded == "00":
+            return cls.infinity(curve)
+        prefix, x_hex = encoded[:2], encoded[2:]
+        if prefix not in ("02", "03") or len(x_hex) != 64:
+            raise ValueError(f"invalid compressed point encoding: {encoded!r}")
+        x = int(x_hex, 16)
+        y_squared = (pow(x, 3, curve.p) + curve.a * x + curve.b) % curve.p
+        y = pow(y_squared, (curve.p + 1) // 4, curve.p)
+        if (y * y) % curve.p != y_squared:
+            raise ValueError("point x-coordinate has no square root on the curve")
+        if (y % 2 == 0) != (prefix == "02"):
+            y = curve.p - y
+        return cls(curve, x, y)
+
+
+def modular_inverse(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``."""
+    value %= modulus
+    if value == 0:
+        raise ZeroDivisionError("inverse of zero does not exist")
+    return pow(value, -1, modulus)
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An ECDSA signature pair (r, s) with low-s normalisation applied."""
+
+    r: int
+    s: int
+
+    def encode(self) -> str:
+        """Fixed-width hex encoding: 64 chars of r followed by 64 chars of s."""
+        return format(self.r, "064x") + format(self.s, "064x")
+
+    @classmethod
+    def decode(cls, encoded: str) -> "EcdsaSignature":
+        """Decode a signature produced by :meth:`encode`."""
+        if len(encoded) != 128:
+            raise ValueError("encoded ECDSA signature must be 128 hex characters")
+        return cls(r=int(encoded[:64], 16), s=int(encoded[64:], 16))
+
+
+def _hash_to_int(message: bytes, curve: CurveParameters) -> int:
+    digest = hashlib.sha256(message).digest()
+    value = int.from_bytes(digest, "big")
+    excess = value.bit_length() - curve.n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _rfc6979_nonce(private_key: int, message_hash: int, curve: CurveParameters) -> int:
+    """Deterministic nonce generation per RFC 6979 with HMAC-SHA256."""
+    order_bytes = (curve.n.bit_length() + 7) // 8
+    key_bytes = private_key.to_bytes(order_bytes, "big")
+    hash_bytes = (message_hash % curve.n).to_bytes(order_bytes, "big")
+
+    k = b"\x00" * 32
+    v = b"\x01" * 32
+    k = hmac.new(k, v + b"\x00" + key_bytes + hash_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + key_bytes + hash_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < curve.n:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def ecdsa_sign(private_key: int, message: bytes, curve: CurveParameters = SECP256K1) -> EcdsaSignature:
+    """Sign ``message`` with ``private_key`` using deterministic ECDSA."""
+    if not 1 <= private_key < curve.n:
+        raise ValueError("private key out of range")
+    z = _hash_to_int(message, curve)
+    generator = CurvePoint.generator(curve)
+    while True:
+        k = _rfc6979_nonce(private_key, z, curve)
+        point = k * generator
+        assert point.x is not None
+        r = point.x % curve.n
+        if r == 0:
+            z = (z + 1) % curve.n
+            continue
+        s = modular_inverse(k, curve.n) * (z + r * private_key) % curve.n
+        if s == 0:
+            z = (z + 1) % curve.n
+            continue
+        if s > curve.n // 2:
+            s = curve.n - s
+        return EcdsaSignature(r=r, s=s)
+
+
+def ecdsa_verify(
+    public_key: CurvePoint,
+    message: bytes,
+    signature: EcdsaSignature,
+    curve: CurveParameters = SECP256K1,
+) -> bool:
+    """Verify an ECDSA ``signature`` over ``message`` against ``public_key``."""
+    if public_key.is_infinity:
+        return False
+    if not (1 <= signature.r < curve.n and 1 <= signature.s < curve.n):
+        return False
+    z = _hash_to_int(message, curve)
+    w = modular_inverse(signature.s, curve.n)
+    u1 = z * w % curve.n
+    u2 = signature.r * w % curve.n
+    point = u1 * CurvePoint.generator(curve) + u2 * public_key
+    if point.is_infinity:
+        return False
+    assert point.x is not None
+    return point.x % curve.n == signature.r
+
+
+def derive_public_key(private_key: int, curve: CurveParameters = SECP256K1) -> CurvePoint:
+    """Compute the public point corresponding to ``private_key``."""
+    if not 1 <= private_key < curve.n:
+        raise ValueError("private key out of range")
+    return private_key * CurvePoint.generator(curve)

@@ -1,0 +1,120 @@
+"""Hash primitives used throughout the blockchain.
+
+The paper chains blocks by storing the hash of the previous block header in
+each block (Section IV-A).  The Genesis Block of the evaluation prototype
+carries the previous hash ``DEADB`` (Fig. 6); we keep that constant so the
+console figures can be reproduced verbatim.
+
+All hashing in this library goes through :func:`hash_hex`, which serialises
+its input canonically (sorted keys, no whitespace differences) before
+applying SHA-256.  Canonical serialisation is what makes summary blocks
+deterministic: every anchor node computes the identical block hash from the
+identical agreed chain state, which is the core requirement of Section IV-B.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+#: Previous-hash value of the very first Genesis Block, as printed in Fig. 6
+#: of the paper.
+GENESIS_PREVIOUS_HASH = "DEADB"
+
+#: Number of hex characters of a full SHA-256 digest.
+FULL_DIGEST_LENGTH = 64
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of ``data`` as a lowercase hex string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to a canonical JSON string.
+
+    Keys are sorted and separators are fixed so that two structurally equal
+    Python objects always produce byte-identical serialisations.  This is the
+    property that lets every anchor node compute the same summary-block hash
+    without exchanging the block (Section IV-B).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_encode_fallback)
+
+
+def _encode_fallback(value: Any) -> Any:
+    """JSON fallback encoder for objects exposing ``to_dict``."""
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"object of type {type(value).__name__} is not JSON serialisable")
+
+
+def hash_hex(value: Any, *, digest_length: int = FULL_DIGEST_LENGTH) -> str:
+    """Hash an arbitrary JSON-serialisable ``value``.
+
+    Parameters
+    ----------
+    value:
+        Any JSON-serialisable structure (or an object with ``to_dict``).
+    digest_length:
+        Number of leading hex characters to keep.  The paper's console
+        output (Figs. 6-8) prints truncated five-character hashes; the chain
+        itself always uses the full digest.
+    """
+    digest = sha256_hex(canonical_json(value).encode("utf-8"))
+    return digest[:digest_length]
+
+
+def hash_pair(left: str, right: str) -> str:
+    """Hash the concatenation of two hex digests (Merkle-tree node rule)."""
+    return sha256_hex((left + right).encode("utf-8"))
+
+
+def hash_many(parts: Iterable[str]) -> str:
+    """Hash an ordered iterable of strings into a single digest."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def truncate_hash(digest: str, length: int = 5) -> str:
+    """Shorten a digest for display, mimicking the paper's console figures."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return digest[:length].upper()
+
+
+@dataclass(frozen=True)
+class HashPointer:
+    """A typed reference to another block by hash and block number.
+
+    Summary blocks use hash pointers when they operate in the
+    ``merkle_reference`` mode of Section V-B2: instead of copying the full
+    data of old sequences, only a pointer (block number + digest) is stored.
+    """
+
+    block_number: int
+    digest: str
+
+    def __post_init__(self) -> None:
+        if self.block_number < 0:
+            raise ValueError("block_number must be non-negative")
+        if not self.digest:
+            raise ValueError("digest must not be empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation."""
+        return {"block_number": self.block_number, "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "HashPointer":
+        """Rebuild a pointer from :meth:`to_dict` output."""
+        return cls(block_number=int(payload["block_number"]), digest=str(payload["digest"]))
+
+    def matches(self, value: Any) -> bool:
+        """Check whether ``value`` hashes to this pointer's digest."""
+        return hash_hex(value) == self.digest

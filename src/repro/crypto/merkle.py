@@ -1,0 +1,154 @@
+"""Merkle trees for summary-block redundancy.
+
+Section V-B1 of the paper hampers the 51 % attack by storing, inside each new
+summary block, either the full data of a middle sequence or *"at least the
+Merkle root as reference for validity to reduce the amount of data"*
+(Fig. 9).  This module provides the Merkle tree, root computation and
+membership proofs needed for that redundancy mode and for the off-chain
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.crypto.hashing import hash_hex, hash_pair
+
+#: Root value of an empty tree.  Hashing an explicit marker keeps the empty
+#: case distinguishable from a tree over a single empty string.
+EMPTY_TREE_ROOT = hash_hex({"merkle": "empty"})
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Membership proof for a single leaf.
+
+    Attributes
+    ----------
+    leaf_index:
+        Position of the proven leaf in the original leaf sequence.
+    leaf_hash:
+        Hash of the proven leaf.
+    path:
+        Sibling hashes from the leaf up to the root, each tagged with the
+        side (``"left"`` or ``"right"``) the sibling sits on.
+    root:
+        Expected root hash the proof verifies against.
+    """
+
+    leaf_index: int
+    leaf_hash: str
+    path: tuple[tuple[str, str], ...]
+    root: str
+
+    def verify(self) -> bool:
+        """Recompute the root from the path and compare with ``self.root``."""
+        current = self.leaf_hash
+        for side, sibling in self.path:
+            if side == "left":
+                current = hash_pair(sibling, current)
+            elif side == "right":
+                current = hash_pair(current, sibling)
+            else:
+                return False
+        return current == self.root
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation of the proof."""
+        return {
+            "leaf_index": self.leaf_index,
+            "leaf_hash": self.leaf_hash,
+            "path": [list(step) for step in self.path],
+            "root": self.root,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MerkleProof":
+        """Rebuild a proof from :meth:`to_dict` output."""
+        return cls(
+            leaf_index=int(payload["leaf_index"]),
+            leaf_hash=str(payload["leaf_hash"]),
+            path=tuple((str(side), str(sibling)) for side, sibling in payload["path"]),
+            root=str(payload["root"]),
+        )
+
+
+@dataclass
+class MerkleTree:
+    """Binary Merkle tree over arbitrary JSON-serialisable leaves.
+
+    Odd levels duplicate their last node (the Bitcoin convention), so the
+    tree is defined for any positive number of leaves.  An empty tree has the
+    sentinel root :data:`EMPTY_TREE_ROOT`.
+    """
+
+    leaves: list[Any] = field(default_factory=list)
+    _levels: list[list[str]] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        leaf_hashes = [hash_hex(leaf) for leaf in self.leaves]
+        levels: list[list[str]] = [leaf_hashes]
+        current = leaf_hashes
+        while len(current) > 1:
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]
+            current = [hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)]
+            levels.append(current)
+        self._levels = levels
+
+    @property
+    def root(self) -> str:
+        """Root hash of the tree (sentinel value for an empty tree)."""
+        if not self.leaves:
+            return EMPTY_TREE_ROOT
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def append(self, leaf: Any) -> None:
+        """Add a leaf and rebuild the tree."""
+        self.leaves.append(leaf)
+        self._rebuild()
+
+    def extend(self, leaves: Iterable[Any]) -> None:
+        """Add several leaves and rebuild the tree once."""
+        self.leaves.extend(leaves)
+        self._rebuild()
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build a membership proof for the leaf at ``index``."""
+        if not self.leaves:
+            raise IndexError("cannot build a proof over an empty tree")
+        if index < 0 or index >= len(self.leaves):
+            raise IndexError(f"leaf index {index} out of range [0, {len(self.leaves)})")
+
+        path: list[tuple[str, str]] = []
+        position = index
+        for level in self._levels[:-1]:
+            padded = level if len(level) % 2 == 0 else level + [level[-1]]
+            if position % 2 == 0:
+                path.append(("right", padded[position + 1]))
+            else:
+                path.append(("left", padded[position - 1]))
+            position //= 2
+        return MerkleProof(
+            leaf_index=index,
+            leaf_hash=self._levels[0][index],
+            path=tuple(path),
+            root=self.root,
+        )
+
+    def contains(self, leaf: Any) -> bool:
+        """Return True if an equal leaf is present (by hash comparison)."""
+        target = hash_hex(leaf)
+        return target in self._levels[0] if self._levels else False
+
+
+def merkle_root(leaves: Sequence[Any]) -> str:
+    """Convenience helper returning just the root of a leaf sequence."""
+    return MerkleTree(list(leaves)).root

@@ -1,0 +1,154 @@
+"""Signature schemes used on entries and deletion requests.
+
+The paper's console figures (Figs. 6-8) print a *simplified* signature next
+to each entry, e.g. ``S: sig_BRAVO``, while Section IV-D1 describes proper
+client signatures whose keys the quorum compares when authorizing a deletion.
+To support both faithful figure reproduction and a realistic authorization
+path, signing is abstracted behind :class:`SignatureScheme` with two
+implementations:
+
+* :class:`SimplifiedScheme` — the paper's presentation form: the signature is
+  a deterministic tag bound to the participant identity.  It is *not*
+  cryptographically binding and exists to regenerate the console output
+  verbatim and to keep micro-benchmarks focused on the chain mechanics.
+* :class:`EcdsaScheme` — real secp256k1 signatures over the canonical entry
+  payload, providing actual unforgeability for the authorization tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto.hashing import canonical_json, sha256_hex
+from repro.crypto.keys import KeyPair, verify_with_public_key
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A payload together with the identity and signature that covers it.
+
+    Attributes
+    ----------
+    payload:
+        The JSON-serialisable data that was signed.
+    signer:
+        Printable identity of the signer (user name or address).
+    signature:
+        Scheme-specific signature string.
+    public_key:
+        Compressed public key for asymmetric schemes, ``None`` for the
+        simplified scheme.
+    """
+
+    payload: Any
+    signer: str
+    signature: str
+    public_key: Optional[str] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable representation."""
+        return {
+            "payload": self.payload,
+            "signer": self.signer,
+            "signature": self.signature,
+            "public_key": self.public_key,
+        }
+
+
+class SignatureScheme(ABC):
+    """Strategy interface for producing and checking entry signatures."""
+
+    #: Short name stored in blocks so validators know how to verify.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sign(self, payload: Any, identity: str, key_pair: Optional[KeyPair] = None) -> SignedPayload:
+        """Sign ``payload`` on behalf of ``identity``."""
+
+    @abstractmethod
+    def verify(self, signed: SignedPayload) -> bool:
+        """Check a signed payload."""
+
+    def same_signer(self, first: SignedPayload, second: SignedPayload) -> bool:
+        """Decide whether two payloads were signed by the same participant.
+
+        This is the check of Section IV-D1: a user *"is only allowed to
+        submit delete requests for his own transactions"*, identified *"by
+        comparing the signature of the user and the stored signature of a
+        data entry"*.
+        """
+        if first.public_key and second.public_key:
+            return first.public_key == second.public_key
+        return first.signer == second.signer
+
+
+class SimplifiedScheme(SignatureScheme):
+    """Paper-style simplified signatures (``sig_<IDENTITY>`` plus payload tag)."""
+
+    name = "simplified"
+
+    def sign(self, payload: Any, identity: str, key_pair: Optional[KeyPair] = None) -> SignedPayload:
+        """Produce a deterministic tag signature bound to the identity."""
+        tag = sha256_hex(f"{identity}:{canonical_json(payload)}".encode("utf-8"))[:16]
+        signature = f"sig_{identity}:{tag}"
+        return SignedPayload(payload=payload, signer=identity, signature=signature)
+
+    def verify(self, signed: SignedPayload) -> bool:
+        """Recompute the tag and compare."""
+        expected = self.sign(signed.payload, signed.signer)
+        return expected.signature == signed.signature
+
+    @staticmethod
+    def display(signed: SignedPayload) -> str:
+        """Console form used in the paper's figures (``sig_BRAVO``)."""
+        return signed.signature.split(":", 1)[0]
+
+
+class EcdsaScheme(SignatureScheme):
+    """Real secp256k1 signatures over the canonical payload serialisation."""
+
+    name = "ecdsa"
+
+    def sign(self, payload: Any, identity: str, key_pair: Optional[KeyPair] = None) -> SignedPayload:
+        """Sign the canonical JSON form of ``payload`` with ``key_pair``."""
+        if key_pair is None:
+            raise ValueError("EcdsaScheme.sign requires a key pair")
+        message = canonical_json({"identity": identity, "payload": payload}).encode("utf-8")
+        signature = key_pair.sign_text(message.decode("utf-8"))
+        return SignedPayload(
+            payload=payload,
+            signer=identity,
+            signature=signature,
+            public_key=key_pair.public_key_hex,
+        )
+
+    def verify(self, signed: SignedPayload) -> bool:
+        """Verify the ECDSA signature against the embedded public key."""
+        if not signed.public_key:
+            return False
+        message = canonical_json({"identity": signed.signer, "payload": signed.payload}).encode("utf-8")
+        return verify_with_public_key(signed.public_key, message, signed.signature)
+
+
+_SCHEMES: dict[str, type[SignatureScheme]] = {
+    SimplifiedScheme.name: SimplifiedScheme,
+    EcdsaScheme.name: EcdsaScheme,
+}
+
+
+def new_scheme(name: str) -> SignatureScheme:
+    """Instantiate a signature scheme by name (``simplified`` or ``ecdsa``)."""
+    try:
+        return _SCHEMES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_SCHEMES))
+        raise ValueError(f"unknown signature scheme {name!r}; known schemes: {known}") from None
+
+
+def register_scheme(scheme_class: type[SignatureScheme]) -> None:
+    """Register a custom signature scheme (extension hook)."""
+    if not scheme_class.name or scheme_class.name == "abstract":
+        raise ValueError("signature scheme must define a concrete name")
+    _SCHEMES[scheme_class.name] = scheme_class

@@ -1,0 +1,38 @@
+"""Network substrate: anchor nodes, clients, transport, RPC, gossip, simulator.
+
+Replaces the paper's CORBA client–server prototype with an in-process,
+deterministic simulation (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.network.gossip import GossipProtocol, GossipResult, GossipTopology
+from repro.network.message import Message, MessageKind
+from repro.network.node import AnchorNode, ClientNode, SyncReport
+from repro.network.rpc import RpcClient, RpcError, RpcServer, expose_chain_api
+from repro.network.simulator import NetworkSimulator, SimulationReport
+from repro.network.transport import (
+    InMemoryTransport,
+    LatencyModel,
+    TransportError,
+    TransportStatistics,
+)
+
+__all__ = [
+    "GossipProtocol",
+    "GossipResult",
+    "GossipTopology",
+    "Message",
+    "MessageKind",
+    "AnchorNode",
+    "ClientNode",
+    "SyncReport",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "expose_chain_api",
+    "NetworkSimulator",
+    "SimulationReport",
+    "InMemoryTransport",
+    "LatencyModel",
+    "TransportError",
+    "TransportStatistics",
+]

@@ -1,0 +1,144 @@
+"""Push gossip for block dissemination.
+
+Large anchor-node sets do not broadcast every block to every peer directly;
+they gossip.  The simulator uses this module to study how fast a sealed block
+(or a deletion request) reaches all anchor nodes under different fan-outs and
+topologies, and how node isolation (Section V-B4, Eclipse/Sybil discussion)
+slows or prevents dissemination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class GossipTopology:
+    """An undirected peer graph."""
+
+    adjacency: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_node(self, node_id: str) -> None:
+        """Ensure a node exists in the topology."""
+        self.adjacency.setdefault(node_id, set())
+
+    def add_edge(self, first: str, second: str) -> None:
+        """Connect two nodes."""
+        if first == second:
+            return
+        self.add_node(first)
+        self.add_node(second)
+        self.adjacency[first].add(second)
+        self.adjacency[second].add(first)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and all its links (models a crashed/isolated node)."""
+        for peer in self.adjacency.pop(node_id, set()):
+            self.adjacency[peer].discard(node_id)
+
+    def neighbours(self, node_id: str) -> set[str]:
+        """Peers directly connected to ``node_id``."""
+        return set(self.adjacency.get(node_id, set()))
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node ids."""
+        return sorted(self.adjacency)
+
+    @classmethod
+    def fully_connected(cls, node_ids: Iterable[str]) -> "GossipTopology":
+        """Clique topology: every anchor node knows every other."""
+        topology = cls()
+        ids = list(node_ids)
+        for i, first in enumerate(ids):
+            topology.add_node(first)
+            for second in ids[i + 1 :]:
+                topology.add_edge(first, second)
+        return topology
+
+    @classmethod
+    def ring(cls, node_ids: Iterable[str]) -> "GossipTopology":
+        """Ring topology — the worst reasonable case for dissemination."""
+        topology = cls()
+        ids = list(node_ids)
+        for index, node_id in enumerate(ids):
+            topology.add_edge(node_id, ids[(index + 1) % len(ids)])
+        return topology
+
+    @classmethod
+    def random_regular(cls, node_ids: Iterable[str], degree: int, *, seed: int = 13) -> "GossipTopology":
+        """Random topology where every node gets roughly ``degree`` links."""
+        topology = cls()
+        ids = list(node_ids)
+        rng = random.Random(seed)
+        for node_id in ids:
+            topology.add_node(node_id)
+            others = [candidate for candidate in ids if candidate != node_id]
+            rng.shuffle(others)
+            for peer in others[:degree]:
+                topology.add_edge(node_id, peer)
+        return topology
+
+
+@dataclass
+class GossipResult:
+    """Outcome of disseminating one item through the topology."""
+
+    origin: str
+    rounds: int
+    informed: set[str]
+    messages_sent: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of nodes that received the item."""
+        return len(self.informed)
+
+    def coverage_ratio(self, total_nodes: int) -> float:
+        """Coverage as a fraction of ``total_nodes``."""
+        if total_nodes <= 0:
+            return 0.0
+        return len(self.informed) / total_nodes
+
+
+class GossipProtocol:
+    """Round-based push gossip with configurable fan-out."""
+
+    def __init__(self, topology: GossipTopology, *, fanout: int = 2, seed: int = 29) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.topology = topology
+        self.fanout = fanout
+        self._random = random.Random(seed)
+
+    def disseminate(self, origin: str, *, max_rounds: Optional[int] = None) -> GossipResult:
+        """Push an item from ``origin`` until no new node learns about it."""
+        if origin not in self.topology.adjacency:
+            raise KeyError(f"origin {origin!r} is not part of the topology")
+        informed: set[str] = {origin}
+        frontier: set[str] = {origin}
+        rounds = 0
+        messages = 0
+        limit = max_rounds if max_rounds is not None else len(self.topology.nodes) * 2
+        while frontier and rounds < limit:
+            rounds += 1
+            next_frontier: set[str] = set()
+            for node in sorted(frontier):
+                neighbours = sorted(self.topology.neighbours(node))
+                self._random.shuffle(neighbours)
+                for peer in neighbours[: self.fanout]:
+                    messages += 1
+                    if peer not in informed:
+                        informed.add(peer)
+                        next_frontier.add(peer)
+            frontier = next_frontier
+        return GossipResult(origin=origin, rounds=rounds, informed=informed, messages_sent=messages)
+
+    def rounds_to_full_coverage(self, origin: str) -> Optional[int]:
+        """Rounds needed to inform every node, or ``None`` if unreachable."""
+        result = self.disseminate(origin)
+        if len(result.informed) == len(self.topology.nodes):
+            return result.rounds
+        return None

@@ -1,0 +1,74 @@
+"""Messages exchanged between clients and anchor nodes.
+
+The paper's prototype was a CORBA client–server system; the reproduction
+replaces the middleware with explicit message objects over an in-memory
+transport (see DESIGN.md, substitution table).  Message kinds cover the three
+interactions the concept needs: submitting entries / deletion requests,
+announcing sealed blocks, and comparing locally computed summary-block hashes
+as a synchronisation check (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+_MESSAGE_COUNTER = itertools.count(1)
+
+
+class MessageKind(str, Enum):
+    """All message types of the anchor-node protocol."""
+
+    SUBMIT_ENTRY = "submit_entry"
+    SUBMIT_DELETION = "submit_deletion"
+    BLOCK_ANNOUNCE = "block_announce"
+    SUMMARY_HASH = "summary_hash"
+    SYNC_REQUEST = "sync_request"
+    SYNC_RESPONSE = "sync_response"
+    VOTE_REQUEST = "vote_request"
+    VOTE_RESPONSE = "vote_response"
+    RPC_CALL = "rpc_call"
+    RPC_RESULT = "rpc_result"
+    ACK = "ack"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single protocol message."""
+
+    kind: MessageKind
+    sender: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+    in_reply_to: Optional[int] = None
+
+    def reply(self, kind: MessageKind, sender: str, payload: Optional[Mapping[str, Any]] = None) -> "Message":
+        """Build a response message linked to this one."""
+        return Message(
+            kind=kind,
+            sender=sender,
+            payload=payload or {},
+            in_reply_to=self.message_id,
+        )
+
+    def error(self, sender: str, reason: str) -> "Message":
+        """Build an error response."""
+        return self.reply(MessageKind.ERROR, sender, {"reason": reason})
+
+    @property
+    def is_error(self) -> bool:
+        """True for error responses."""
+        return self.kind is MessageKind.ERROR
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used for size accounting)."""
+        return {
+            "kind": self.kind.value,
+            "sender": self.sender,
+            "payload": dict(self.payload),
+            "message_id": self.message_id,
+            "in_reply_to": self.in_reply_to,
+        }

@@ -1,0 +1,336 @@
+"""Anchor nodes and clients.
+
+Section IV-A: anchor nodes *"manage the full copy of the blockchain and build
+the quorum"*; clients *"obtain the current status quo of the blockchain"*
+from them (Section V-B4).  In this reproduction each :class:`AnchorNode`
+holds its own :class:`~repro.core.chain.Blockchain` replica.  One node acts
+as the block producer (the concrete leader-election mechanism is outside the
+paper's scope); every other node replays the announced blocks and computes
+the summary blocks locally, then the quorum compares summary hashes as the
+synchronisation check of Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.consensus.base import ConsensusEngine, NullConsensus
+from repro.core.block import Block
+from repro.core.chain import Blockchain
+from repro.core.entry import Entry, EntryKind, EntryReference
+from repro.core.errors import SelectiveDeletionError, SynchronisationError
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_scheme
+from repro.network.message import Message, MessageKind
+from repro.network.transport import InMemoryTransport
+
+
+@dataclass
+class SyncReport:
+    """Result of one summary-hash synchronisation round."""
+
+    block_number: int
+    own_hash: str
+    peer_results: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def diverged_peers(self) -> list[str]:
+        """Peers whose locally computed summary block differs from ours."""
+        return sorted(peer for peer, matches in self.peer_results.items() if not matches)
+
+    @property
+    def in_sync(self) -> bool:
+        """True when every reachable peer agrees."""
+        return not self.diverged_peers
+
+
+class AnchorNode:
+    """A server node holding a full replica of the blockchain."""
+
+    def __init__(
+        self,
+        node_id: str,
+        chain: Blockchain,
+        transport: InMemoryTransport,
+        *,
+        engine: Optional[ConsensusEngine] = None,
+        is_producer: bool = False,
+        producer_id: Optional[str] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.chain = chain
+        self.transport = transport
+        self.engine = engine or NullConsensus()
+        self.is_producer = is_producer
+        self.producer_id = producer_id or node_id
+        self.peers: list[str] = []
+        self.rejected_blocks: list[tuple[Block, str]] = []
+        if self.engine is not None and chain.block_finalizer is None:
+            chain.block_finalizer = self.engine.prepare_block
+        transport.register(node_id, self.handle_message)
+
+    # ------------------------------------------------------------------ #
+    # Peer management
+    # ------------------------------------------------------------------ #
+
+    def connect(self, peer_ids: list[str]) -> None:
+        """Record the ids of the other anchor nodes."""
+        self.peers = [peer for peer in peer_ids if peer != self.node_id]
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Dispatch an incoming protocol message."""
+        handlers = {
+            MessageKind.SUBMIT_ENTRY: self._handle_submit,
+            MessageKind.SUBMIT_DELETION: self._handle_submit,
+            MessageKind.BLOCK_ANNOUNCE: self._handle_block_announce,
+            MessageKind.SUMMARY_HASH: self._handle_summary_hash,
+            MessageKind.SYNC_REQUEST: self._handle_sync_request,
+        }
+        handler = handlers.get(message.kind)
+        if handler is None:
+            return message.error(self.node_id, f"unsupported message kind {message.kind.value}")
+        try:
+            return handler(message)
+        except SelectiveDeletionError as exc:
+            return message.error(self.node_id, str(exc))
+
+    def _handle_submit(self, message: Message) -> Message:
+        if not self.is_producer:
+            # Forward to the block producer; reply with whatever it said.
+            response = self.transport.send(self.producer_id, message)
+            if response is None:
+                return message.error(self.node_id, "producer did not respond")
+            return response
+        entry = Entry.from_dict(message.payload["entry"])
+        decision = self.chain.submit_signed_entry(entry)
+        block = self.chain.seal_block()
+        self._announce(block)
+        payload: dict[str, Any] = {"block_number": block.block_number}
+        if decision is not None:
+            payload["deletion_status"] = decision.status.value
+            payload["deletion_reason"] = decision.reason
+        return message.reply(MessageKind.ACK, self.node_id, payload)
+
+    def _handle_block_announce(self, message: Message) -> Message:
+        block = Block.from_dict(message.payload["block"])
+        verdict = self.engine.validate_block(block, self.chain.head)
+        if not verdict.accepted:
+            self.rejected_blocks.append((block, verdict.reason))
+            return message.error(self.node_id, verdict.reason)
+        self.chain.receive_block(block)
+        return message.reply(
+            MessageKind.ACK,
+            self.node_id,
+            {"head": self.chain.head.block_number, "head_hash": self.chain.head.block_hash},
+        )
+
+    def _handle_summary_hash(self, message: Message) -> Message:
+        block_number = int(message.payload["block_number"])
+        expected_hash = str(message.payload["block_hash"])
+        try:
+            own = self.chain.block_by_number(block_number)
+        except KeyError:
+            return message.reply(
+                MessageKind.SYNC_RESPONSE, self.node_id, {"match": False, "reason": "block unknown"}
+            )
+        matches = own.is_summary and own.block_hash == expected_hash
+        return message.reply(MessageKind.SYNC_RESPONSE, self.node_id, {"match": matches})
+
+    def _handle_sync_request(self, message: Message) -> Message:
+        from_number = int(message.payload.get("from_block", self.chain.genesis_marker))
+        blocks = [
+            block.to_dict()
+            for block in self.chain.blocks
+            if block.block_number >= from_number
+        ]
+        return message.reply(
+            MessageKind.SYNC_RESPONSE,
+            self.node_id,
+            {"blocks": blocks, "genesis_marker": self.chain.genesis_marker},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Producer-side operations
+    # ------------------------------------------------------------------ #
+
+    def _announce(self, block: Block) -> None:
+        message = Message(
+            kind=MessageKind.BLOCK_ANNOUNCE,
+            sender=self.node_id,
+            payload={"block": block.to_dict()},
+        )
+        self.transport.broadcast(self.node_id, self.peers, message)
+
+    def produce_block(self) -> Block:
+        """Seal the pending entries locally and announce the block."""
+        if not self.is_producer:
+            raise SelectiveDeletionError(f"node {self.node_id} is not the block producer")
+        block = self.chain.seal_block()
+        self._announce(block)
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Synchronisation check (Section IV-B)
+    # ------------------------------------------------------------------ #
+
+    def latest_summary_block(self) -> Optional[Block]:
+        """Most recent summary block of the local replica."""
+        for block in reversed(self.chain.blocks):
+            if block.is_summary:
+                return block
+        return None
+
+    def catch_up(self, peer_id: str) -> int:
+        """Fetch missed blocks from a peer and replay them locally.
+
+        A node that was offline (Section V-B4's isolation discussion) asks a
+        reachable anchor node for everything after its own head, applies the
+        missed *normal* blocks in order and recomputes the summary blocks
+        itself — the same path as live replication, so the caught-up replica
+        ends byte-identical to the peer.  Returns the number of blocks
+        adopted; ``0`` means the node was already up to date or is so far
+        behind that it needs a snapshot bootstrap instead.
+        """
+        request = Message(
+            kind=MessageKind.SYNC_REQUEST,
+            sender=self.node_id,
+            payload={"from_block": self.chain.head.block_number + 1},
+        )
+        response = self.transport.send(peer_id, request)
+        if response is None or response.is_error:
+            return 0
+        adopted = 0
+        for payload in response.payload.get("blocks", []):
+            block = Block.from_dict(payload)
+            if block.is_summary:
+                continue  # summary blocks are recomputed locally (Section IV-B)
+            if block.block_number != self.chain.next_block_number:
+                break  # gap too large: a snapshot bootstrap is required
+            verdict = self.engine.validate_block(block, self.chain.head)
+            if not verdict.accepted:
+                self.rejected_blocks.append((block, verdict.reason))
+                break
+            self.chain.receive_block(block)
+            adopted += 1
+        return adopted
+
+    def sync_check(self, *, raise_on_divergence: bool = False) -> SyncReport:
+        """Compare the latest locally computed summary block with all peers."""
+        summary = self.latest_summary_block()
+        if summary is None:
+            return SyncReport(block_number=-1, own_hash="")
+        message = Message(
+            kind=MessageKind.SUMMARY_HASH,
+            sender=self.node_id,
+            payload={"block_number": summary.block_number, "block_hash": summary.block_hash},
+        )
+        responses = self.transport.broadcast(self.node_id, self.peers, message)
+        report = SyncReport(block_number=summary.block_number, own_hash=summary.block_hash)
+        for peer, response in responses.items():
+            if response is None or response.is_error:
+                report.peer_results[peer] = False
+            else:
+                report.peer_results[peer] = bool(response.payload.get("match", False))
+        if raise_on_divergence and not report.in_sync:
+            raise SynchronisationError(
+                f"summary block {summary.block_number} diverges on peers {report.diverged_peers}"
+            )
+        return report
+
+
+class ClientNode:
+    """A light client submitting entries and deletion requests to anchors."""
+
+    def __init__(
+        self,
+        client_id: str,
+        transport: InMemoryTransport,
+        *,
+        scheme_name: str = "simplified",
+        key_pair: Optional[KeyPair] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.transport = transport
+        self.scheme = new_scheme(scheme_name)
+        self.key_pair = key_pair
+
+    def _sign_entry(self, entry: Entry) -> Entry:
+        signed = self.scheme.sign(entry.signing_payload(), self.client_id, self.key_pair)
+        return Entry(
+            data=entry.data,
+            author=self.client_id,
+            signature=signed.signature,
+            public_key=signed.public_key,
+            kind=entry.kind,
+            expires_at_time=entry.expires_at_time,
+            expires_at_block=entry.expires_at_block,
+        )
+
+    def submit_entry(
+        self,
+        anchor_id: str,
+        data: dict[str, Any],
+        *,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+    ) -> Message:
+        """Sign a data entry locally and submit it to an anchor node."""
+        entry = self._sign_entry(
+            Entry(
+                data=data,
+                author=self.client_id,
+                signature="",
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+            )
+        )
+        message = Message(
+            kind=MessageKind.SUBMIT_ENTRY,
+            sender=self.client_id,
+            payload={"entry": entry.to_dict()},
+        )
+        response = self.transport.send(anchor_id, message)
+        if response is None:
+            return message.error(self.client_id, "no response from anchor node")
+        return response
+
+    def request_deletion(
+        self,
+        anchor_id: str,
+        target: EntryReference,
+        *,
+        reason: str = "",
+    ) -> Message:
+        """Sign and submit a deletion request for ``target``."""
+        data: dict[str, Any] = {"target": target.to_dict()}
+        if reason:
+            data["reason"] = reason
+        entry = self._sign_entry(
+            Entry(data=data, author=self.client_id, signature="", kind=EntryKind.DELETION_REQUEST)
+        )
+        message = Message(
+            kind=MessageKind.SUBMIT_DELETION,
+            sender=self.client_id,
+            payload={"entry": entry.to_dict()},
+        )
+        response = self.transport.send(anchor_id, message)
+        if response is None:
+            return message.error(self.client_id, "no response from anchor node")
+        return response
+
+    def fetch_chain(self, anchor_id: str, *, from_block: int = 0) -> list[Block]:
+        """Download the living chain from an anchor node (status-quo sync)."""
+        message = Message(
+            kind=MessageKind.SYNC_REQUEST,
+            sender=self.client_id,
+            payload={"from_block": from_block},
+        )
+        response = self.transport.send(anchor_id, message)
+        if response is None or response.is_error:
+            return []
+        return [Block.from_dict(item) for item in response.payload.get("blocks", [])]

@@ -1,0 +1,126 @@
+"""A minimal RPC layer — the stand-in for the paper's CORBA middleware.
+
+The published prototype glued its Python and Java components together with
+CORBA so that components stay language independent and reusable.  The
+reproduction keeps the same architectural seam but implements it as a small
+request/response protocol on top of :class:`InMemoryTransport`:
+
+* :class:`RpcServer` exposes a whitelisted set of methods of a target object
+  (typically an :class:`~repro.network.node.AnchorNode` or its chain),
+* :class:`RpcClient` builds a dynamic proxy whose attribute calls are
+  marshalled into ``RPC_CALL`` messages and unmarshalled from ``RPC_RESULT``
+  responses.
+
+Only JSON-serialisable arguments and return values may cross the boundary,
+which mirrors the IDL restriction real CORBA deployments live with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.errors import SelectiveDeletionError
+from repro.network.message import Message, MessageKind
+from repro.network.transport import InMemoryTransport
+
+
+class RpcError(SelectiveDeletionError):
+    """Raised on the client side when a remote call fails."""
+
+
+class RpcServer:
+    """Expose named methods of a target object over the transport."""
+
+    def __init__(
+        self,
+        service_id: str,
+        transport: InMemoryTransport,
+        *,
+        methods: Mapping[str, Callable[..., Any]],
+    ) -> None:
+        self.service_id = service_id
+        self.transport = transport
+        self._methods = dict(methods)
+        transport.register(service_id, self.handle_message)
+
+    @property
+    def method_names(self) -> list[str]:
+        """Names of all exposed methods."""
+        return sorted(self._methods)
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Execute an RPC call and marshal the result."""
+        if message.kind is not MessageKind.RPC_CALL:
+            return message.error(self.service_id, "RPC server only accepts RPC_CALL messages")
+        method_name = str(message.payload.get("method", ""))
+        method = self._methods.get(method_name)
+        if method is None:
+            return message.error(
+                self.service_id,
+                f"unknown RPC method {method_name!r}; exposed: {self.method_names}",
+            )
+        args = list(message.payload.get("args", []))
+        kwargs = dict(message.payload.get("kwargs", {}))
+        try:
+            result = method(*args, **kwargs)
+        except SelectiveDeletionError as exc:
+            return message.error(self.service_id, f"{type(exc).__name__}: {exc}")
+        return message.reply(MessageKind.RPC_RESULT, self.service_id, {"result": result})
+
+
+class _RemoteMethod:
+    """Callable proxy for one remote method."""
+
+    def __init__(self, client: "RpcClient", method_name: str) -> None:
+        self._client = client
+        self._method_name = method_name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._client.call(self._method_name, *args, **kwargs)
+
+
+class RpcClient:
+    """Dynamic proxy marshalling attribute calls into RPC messages."""
+
+    def __init__(self, client_id: str, service_id: str, transport: InMemoryTransport) -> None:
+        self.client_id = client_id
+        self.service_id = service_id
+        self.transport = transport
+
+    def call(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a remote method and return its unmarshalled result."""
+        message = Message(
+            kind=MessageKind.RPC_CALL,
+            sender=self.client_id,
+            payload={"method": method_name, "args": list(args), "kwargs": dict(kwargs)},
+        )
+        response = self.transport.send(self.service_id, message)
+        if response is None:
+            raise RpcError(f"no response from service {self.service_id!r}")
+        if response.is_error:
+            raise RpcError(str(response.payload.get("reason", "remote call failed")))
+        return response.payload.get("result")
+
+    def __getattr__(self, name: str) -> _RemoteMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _RemoteMethod(self, name)
+
+
+def expose_chain_api(node_chain_service_id: str, transport: InMemoryTransport, chain: Any) -> RpcServer:
+    """Publish the read-only chain API of an anchor node via RPC.
+
+    Exposes the calls a CORBA client of the original prototype would issue:
+    chain length, statistics, the genesis marker and a serialised dump.
+    """
+    return RpcServer(
+        node_chain_service_id,
+        transport,
+        methods={
+            "length": lambda: chain.length,
+            "genesis_marker": lambda: chain.genesis_marker,
+            "statistics": lambda: chain.statistics(),
+            "dump": lambda: chain.to_dict(),
+            "head_number": lambda: chain.head.block_number,
+        },
+    )

@@ -1,0 +1,253 @@
+"""Multi-node network simulation.
+
+This is the reproduction's substitute for the paper's CORBA client–server
+testbed (Section V): a deterministic in-process deployment of several anchor
+nodes with full chain replicas, plus light clients that submit login entries
+and deletion requests.  The simulator exercises the paper's claims that
+
+* every anchor node computes identical summary blocks without propagating
+  them (Section IV-B) — checked after every block via summary-hash
+  comparison,
+* a diverging node is detected as a fork / synchronisation failure,
+* node isolation can be mitigated because clients can fail over to other
+  anchor nodes (Section V-B4).
+
+Fault injection supports corrupting a node's replica (to force divergence),
+taking nodes offline and partitioning the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.consensus.base import ConsensusEngine, NullConsensus
+from repro.core.chain import Blockchain
+from repro.core.config import ChainConfig
+from repro.core.entry import Entry, EntryReference
+from repro.core.errors import SynchronisationError
+from repro.core.schema import EntrySchema
+from repro.network.message import Message, MessageKind
+from repro.network.node import AnchorNode, ClientNode, SyncReport
+from repro.network.transport import InMemoryTransport, LatencyModel
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated results of a simulation run."""
+
+    blocks_produced: int = 0
+    entries_submitted: int = 0
+    deletions_submitted: int = 0
+    sync_checks: int = 0
+    divergences_detected: int = 0
+    failovers: int = 0
+    transport: dict[str, Any] = field(default_factory=dict)
+    final_chain_statistics: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view for reports and benchmarks."""
+        return {
+            "blocks_produced": self.blocks_produced,
+            "entries_submitted": self.entries_submitted,
+            "deletions_submitted": self.deletions_submitted,
+            "sync_checks": self.sync_checks,
+            "divergences_detected": self.divergences_detected,
+            "failovers": self.failovers,
+            "transport": dict(self.transport),
+            "final_chain_statistics": dict(self.final_chain_statistics),
+        }
+
+
+class NetworkSimulator:
+    """Builds and drives a deployment of anchor nodes and clients."""
+
+    def __init__(
+        self,
+        *,
+        anchor_count: int = 3,
+        client_ids: Optional[list[str]] = None,
+        config: Optional[ChainConfig] = None,
+        schema: Optional[EntrySchema] = None,
+        engine_factory: Optional[type[ConsensusEngine]] = None,
+        latency: Optional[LatencyModel] = None,
+        admins: tuple[str, ...] = (),
+    ) -> None:
+        if anchor_count < 1:
+            raise ValueError("at least one anchor node is required")
+        self.config = config or ChainConfig.paper_evaluation()
+        self.schema = schema
+        self.transport = InMemoryTransport(latency=latency)
+        self.report = SimulationReport()
+
+        self.anchor_ids = [f"anchor-{index}" for index in range(anchor_count)]
+        producer_id = self.anchor_ids[0]
+        self.anchors: dict[str, AnchorNode] = {}
+        for anchor_id in self.anchor_ids:
+            chain = Blockchain(self.config, schema=self.schema, admins=list(admins))
+            engine = engine_factory() if engine_factory is not None else NullConsensus()
+            node = AnchorNode(
+                anchor_id,
+                chain,
+                self.transport,
+                engine=engine,
+                is_producer=(anchor_id == producer_id),
+                producer_id=producer_id,
+            )
+            self.anchors[anchor_id] = node
+        for node in self.anchors.values():
+            node.connect(self.anchor_ids)
+
+        self.clients: dict[str, ClientNode] = {}
+        for client_id in client_ids or []:
+            self.add_client(client_id)
+
+    # ------------------------------------------------------------------ #
+    # Topology management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def producer(self) -> AnchorNode:
+        """The block-producing anchor node."""
+        return self.anchors[self.anchor_ids[0]]
+
+    def add_client(self, client_id: str) -> ClientNode:
+        """Register a new light client."""
+        client = ClientNode(client_id, self.transport, scheme_name=self.config.signature_scheme)
+        self.clients[client_id] = client
+        return client
+
+    def take_offline(self, anchor_id: str) -> None:
+        """Disconnect an anchor node (crash / isolation fault)."""
+        self.transport.set_offline(anchor_id, True)
+
+    def bring_online(self, anchor_id: str) -> None:
+        """Reconnect a previously offline anchor node."""
+        self.transport.set_offline(anchor_id, False)
+
+    def corrupt_replica(self, anchor_id: str, *, note: str = "corrupted state") -> None:
+        """Tamper with one node's replica so its chain state diverges.
+
+        The corrupted node seals a rogue block locally (as a faulty or
+        malicious anchor would).  From then on its replica forks: announced
+        blocks no longer link, and its summary blocks differ from the honest
+        quorum.  The paper warns that such a divergence *"would result in a
+        fork in the blockchain and thus split the network"*; this fault lets
+        tests and benchmarks observe exactly that detection path.
+        """
+        chain = self.anchors[anchor_id].chain
+        rogue = Entry(data={"D": note, "K": "corruptor", "S": "none"}, author="corruptor", signature="x")
+        chain._pending.append(rogue)  # bypass signing on purpose: this is a fault injection
+        chain.seal_block()
+
+    # ------------------------------------------------------------------ #
+    # Workload operations
+    # ------------------------------------------------------------------ #
+
+    def submit_entry(
+        self,
+        client_id: str,
+        data: dict[str, Any],
+        *,
+        anchor_id: Optional[str] = None,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+    ) -> Message:
+        """Submit one entry through a client, failing over when needed."""
+        client = self.clients[client_id]
+        targets = [anchor_id] if anchor_id else list(self.anchor_ids)
+        response: Optional[Message] = None
+        for target in targets:
+            response = client.submit_entry(
+                target,
+                data,
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+            )
+            if response is not None and not response.is_error:
+                break
+            self.report.failovers += 1
+        assert response is not None
+        self.report.entries_submitted += 1
+        if not response.is_error:
+            self.report.blocks_produced += 1
+        return response
+
+    def submit_deletion(
+        self,
+        client_id: str,
+        target: EntryReference,
+        *,
+        anchor_id: Optional[str] = None,
+        reason: str = "",
+    ) -> Message:
+        """Submit a deletion request through a client."""
+        client = self.clients[client_id]
+        targets = [anchor_id] if anchor_id else list(self.anchor_ids)
+        response: Optional[Message] = None
+        for anchor in targets:
+            response = client.request_deletion(anchor, target, reason=reason)
+            if response is not None and not response.is_error:
+                break
+            self.report.failovers += 1
+        assert response is not None
+        self.report.deletions_submitted += 1
+        if not response.is_error:
+            self.report.blocks_produced += 1
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Synchronisation
+    # ------------------------------------------------------------------ #
+
+    def sync_check(self, *, raise_on_divergence: bool = False) -> SyncReport:
+        """Run one summary-hash comparison round from the producer."""
+        self.report.sync_checks += 1
+        report = self.producer.sync_check(raise_on_divergence=False)
+        if not report.in_sync:
+            self.report.divergences_detected += 1
+            if raise_on_divergence:
+                raise SynchronisationError(
+                    f"summary divergence on peers {report.diverged_peers}"
+                )
+        return report
+
+    def all_heads(self) -> dict[str, int]:
+        """Head block number of every anchor replica."""
+        return {anchor_id: node.chain.head.block_number for anchor_id, node in self.anchors.items()}
+
+    def replicas_identical(self) -> bool:
+        """True when every online replica has the same head hash."""
+        hashes = {
+            node.chain.head.block_hash
+            for anchor_id, node in self.anchors.items()
+            if anchor_id not in self.transport._offline
+        }
+        return len(hashes) == 1
+
+    # ------------------------------------------------------------------ #
+    # Scenario driver
+    # ------------------------------------------------------------------ #
+
+    def run_login_scenario(self, logins: list[tuple[str, str]], *, sync_every: int = 1) -> SimulationReport:
+        """Replay a list of ``(client_id, record)`` login events.
+
+        Registers unknown clients on the fly, checks synchronisation every
+        ``sync_every`` submissions and returns the final report.
+        """
+        for index, (client_id, record) in enumerate(logins, start=1):
+            if client_id not in self.clients:
+                self.add_client(client_id)
+            self.submit_entry(
+                client_id,
+                {"D": record, "K": client_id, "S": f"sig_{client_id}"},
+            )
+            if sync_every and index % sync_every == 0:
+                self.sync_check()
+        return self.finalize()
+
+    def finalize(self) -> SimulationReport:
+        """Collect final statistics into the report."""
+        self.report.transport = self.transport.statistics.as_dict()
+        self.report.final_chain_statistics = self.producer.chain.statistics()
+        return self.report

@@ -1,0 +1,187 @@
+"""In-memory transport connecting clients and anchor nodes.
+
+This is the substitution for the paper's CORBA middleware: a synchronous,
+deterministic message fabric with
+
+* per-link latency accounting (a seeded latency model, so benchmarks can
+  report simulated network delay without real sleeping),
+* fault injection — dropped links and network partitions — used by the node
+  isolation discussion of Section V-B4,
+* full message statistics for the evaluation harness.
+
+Handlers are plain callables ``Message -> Message | None``; the transport
+delivers synchronously, which keeps the anchor-node logic easy to reason
+about while still exercising the real protocol paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.errors import SelectiveDeletionError
+from repro.crypto.hashing import canonical_json
+from repro.network.message import Message, MessageKind
+
+#: A message handler registered by a node.
+Handler = Callable[[Message], Optional[Message]]
+
+
+class TransportError(SelectiveDeletionError):
+    """Raised when a message cannot be delivered (unknown node, partition)."""
+
+
+@dataclass
+class LatencyModel:
+    """Deterministic pseudo-random latency per delivered message (in ms)."""
+
+    minimum_ms: float = 1.0
+    maximum_ms: float = 20.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.minimum_ms < 0 or self.maximum_ms < self.minimum_ms:
+            raise ValueError("latency bounds must satisfy 0 <= minimum <= maximum")
+        self._random = random.Random(self.seed)
+
+    def sample(self) -> float:
+        """Draw one latency sample."""
+        return self._random.uniform(self.minimum_ms, self.maximum_ms)
+
+
+@dataclass
+class TransportStatistics:
+    """Counters the evaluation harness reads after a simulation run."""
+
+    delivered: int = 0
+    dropped: int = 0
+    broadcasts: int = 0
+    bytes_transferred: int = 0
+    simulated_latency_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "broadcasts": self.broadcasts,
+            "bytes_transferred": self.bytes_transferred,
+            "simulated_latency_ms": round(self.simulated_latency_ms, 3),
+        }
+
+
+class InMemoryTransport:
+    """Synchronous in-process message fabric with fault injection."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+        self.latency = latency or LatencyModel()
+        self.statistics = TransportStatistics()
+        self._handlers: dict[str, Handler] = {}
+        self._blocked_links: set[tuple[str, str]] = set()
+        self._offline: set[str] = set()
+        self.message_log: list[Message] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration and fault injection
+    # ------------------------------------------------------------------ #
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach a node's message handler under its id."""
+        if node_id in self._handlers:
+            raise TransportError(f"node id {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Remove a node (models a crashed node)."""
+        self._handlers.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All currently registered node ids."""
+        return sorted(self._handlers)
+
+    def set_offline(self, node_id: str, offline: bool = True) -> None:
+        """Take a node off the network without unregistering it."""
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def block_link(self, first: str, second: str) -> None:
+        """Drop all traffic between two nodes (both directions)."""
+        self._blocked_links.add((first, second))
+        self._blocked_links.add((second, first))
+
+    def unblock_link(self, first: str, second: str) -> None:
+        """Restore a previously blocked link."""
+        self._blocked_links.discard((first, second))
+        self._blocked_links.discard((second, first))
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Block every link between the two groups (Eclipse-style isolation)."""
+        for a in group_a:
+            for b in group_b:
+                self.block_link(a, b)
+
+    def heal_partition(self) -> None:
+        """Remove all link blocks."""
+        self._blocked_links.clear()
+
+    def _deliverable(self, sender: str, recipient: str) -> bool:
+        if recipient not in self._handlers:
+            return False
+        if sender in self._offline or recipient in self._offline:
+            return False
+        if (sender, recipient) in self._blocked_links:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+
+    def send(self, recipient: str, message: Message) -> Optional[Message]:
+        """Deliver a message synchronously and return the handler's response.
+
+        Raises :class:`TransportError` when the recipient does not exist;
+        returns an error message when the link is blocked or a party is
+        offline (callers can then retry against another anchor node, which is
+        exactly the mitigation Section V-B4 proposes against node isolation).
+        """
+        if recipient not in self._handlers:
+            raise TransportError(f"unknown recipient {recipient!r}")
+        if not self._deliverable(message.sender, recipient):
+            self.statistics.dropped += 1
+            return message.error("transport", f"link {message.sender!r} -> {recipient!r} unavailable")
+        self.statistics.delivered += 1
+        self.statistics.simulated_latency_ms += self.latency.sample()
+        self.statistics.bytes_transferred += len(canonical_json(message.to_dict()).encode("utf-8"))
+        self.message_log.append(message)
+        response = self._handlers[recipient](message)
+        if response is not None:
+            self.statistics.delivered += 1
+            self.statistics.simulated_latency_ms += self.latency.sample()
+            self.statistics.bytes_transferred += len(
+                canonical_json(response.to_dict()).encode("utf-8")
+            )
+            self.message_log.append(response)
+        return response
+
+    def broadcast(self, sender: str, recipients: list[str], message: Message) -> dict[str, Optional[Message]]:
+        """Send the same message to several recipients, collecting responses."""
+        self.statistics.broadcasts += 1
+        responses: dict[str, Optional[Message]] = {}
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            try:
+                responses[recipient] = self.send(recipient, message)
+            except TransportError:
+                responses[recipient] = message.error("transport", f"unknown recipient {recipient!r}")
+                self.statistics.dropped += 1
+        return responses
+
+    def messages_of_kind(self, kind: MessageKind) -> list[Message]:
+        """Filter the message log by kind (used in tests and reports)."""
+        return [message for message in self.message_log if message.kind is kind]

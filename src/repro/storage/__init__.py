@@ -1,0 +1,15 @@
+"""Storage backends for anchor nodes: memory, append-only journal, snapshots."""
+
+from repro.storage.memstore import BlockStore, MemoryBlockStore, persist_chain
+from repro.storage.snapshot import SnapshotManager, load_snapshot, save_snapshot
+from repro.storage.wal import JournalBlockStore
+
+__all__ = [
+    "BlockStore",
+    "MemoryBlockStore",
+    "persist_chain",
+    "SnapshotManager",
+    "load_snapshot",
+    "save_snapshot",
+    "JournalBlockStore",
+]

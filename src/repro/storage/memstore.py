@@ -1,0 +1,117 @@
+"""In-memory block store.
+
+Anchor nodes *"manage the full copy of the blockchain"* (Section IV-A); the
+storage backends decouple that copy from the chain logic so deployments can
+choose volatile memory (tests, simulation), an append-only journal
+(:mod:`repro.storage.wal`) or JSON snapshots (:mod:`repro.storage.snapshot`).
+All backends share the :class:`BlockStore` interface, including the
+``truncate_before`` operation the marker shift needs to physically reclaim
+space.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from repro.core.block import Block
+from repro.core.errors import StorageError
+
+
+class BlockStore(ABC):
+    """Interface every storage backend implements."""
+
+    @abstractmethod
+    def append(self, block: Block) -> None:
+        """Persist one block at the end of the store."""
+
+    @abstractmethod
+    def get(self, block_number: int) -> Block:
+        """Load a block by number (raises :class:`StorageError` if missing)."""
+
+    @abstractmethod
+    def truncate_before(self, block_number: int) -> int:
+        """Physically remove all blocks before ``block_number``.
+
+        Returns the number of removed blocks.  This is what reclaims disk
+        space after a genesis-marker shift.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored blocks."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Block]:
+        """Iterate over stored blocks in ascending block-number order."""
+
+    def head(self) -> Optional[Block]:
+        """The stored block with the highest number, or ``None`` when empty."""
+        last = None
+        for block in self:
+            last = block
+        return last
+
+    def byte_size(self) -> int:
+        """Approximate serialised size of all stored blocks."""
+        return sum(block.byte_size() for block in self)
+
+
+class MemoryBlockStore(BlockStore):
+    """Simple dict-backed store used by tests and the network simulator."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, Block] = {}
+
+    def append(self, block: Block) -> None:
+        """Store a block, rejecting duplicates and number regressions."""
+        if block.block_number in self._blocks:
+            raise StorageError(f"block {block.block_number} is already stored")
+        if self._blocks and block.block_number != max(self._blocks) + 1:
+            raise StorageError(
+                f"expected block {max(self._blocks) + 1}, got {block.block_number}"
+            )
+        self._blocks[block.block_number] = block
+
+    def get(self, block_number: int) -> Block:
+        """Load a block by number."""
+        try:
+            return self._blocks[block_number]
+        except KeyError:
+            raise StorageError(f"block {block_number} is not stored") from None
+
+    def truncate_before(self, block_number: int) -> int:
+        """Drop all blocks with a smaller number."""
+        doomed = [number for number in self._blocks if number < block_number]
+        for number in doomed:
+            del self._blocks[number]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        for number in sorted(self._blocks):
+            yield self._blocks[number]
+
+
+def persist_chain(store: BlockStore, blocks: list[Block]) -> int:
+    """Append every not-yet-stored block of a living chain to ``store``.
+
+    Returns the number of newly persisted blocks.  Used by anchor nodes after
+    each sealing round.
+    """
+    stored_head = store.head()
+    start_number = stored_head.block_number + 1 if stored_head is not None else None
+    added = 0
+    for block in blocks:
+        if start_number is not None and block.block_number < start_number:
+            continue
+        if start_number is None and len(store) == 0 and block.block_number != blocks[0].block_number:
+            continue
+        try:
+            store.append(block)
+        except StorageError:
+            continue
+        added += 1
+    return added

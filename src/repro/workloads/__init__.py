@@ -1,0 +1,31 @@
+"""Workload generators for the scenarios the paper motivates."""
+
+from repro.workloads.base import EventKind, ReplayResult, Workload, WorkloadEvent, replay
+from repro.workloads.coins import CoinTransferWorkload, Transfer
+from repro.workloads.gdpr import ErasureCase, GdprErasureWorkload
+from repro.workloads.logging import (
+    PAPER_USERS,
+    LoginAuditWorkload,
+    PaperScenarioWorkload,
+    login_record,
+)
+from repro.workloads.supply_chain import SupplyChainWorkload
+from repro.workloads.vehicle import VehicleLifecycleWorkload
+
+__all__ = [
+    "EventKind",
+    "ReplayResult",
+    "Workload",
+    "WorkloadEvent",
+    "replay",
+    "CoinTransferWorkload",
+    "Transfer",
+    "ErasureCase",
+    "GdprErasureWorkload",
+    "PAPER_USERS",
+    "LoginAuditWorkload",
+    "PaperScenarioWorkload",
+    "login_record",
+    "SupplyChainWorkload",
+    "VehicleLifecycleWorkload",
+]

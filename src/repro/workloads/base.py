@@ -1,0 +1,129 @@
+"""Workload framework.
+
+A workload is a deterministic (seeded) stream of :class:`WorkloadEvent`
+objects — entry submissions, deletion requests and idle periods — that a
+driver replays against a :class:`~repro.core.chain.Blockchain`, a baseline
+system, or the network simulator.  The concrete generators model the
+scenarios the paper motivates: login/audit logging (Section II and V),
+Industry-4.0 product tracking and vehicle life-cycles (Section VI),
+cryptocurrency transfers (Section I) and GDPR erasure arrivals (Section II).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator, Optional
+
+from repro.core.chain import Blockchain
+from repro.core.entry import EntryReference
+
+
+class EventKind(str, Enum):
+    """Kinds of workload events."""
+
+    ENTRY = "entry"
+    DELETION = "deletion"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One event of a workload trace."""
+
+    kind: EventKind
+    author: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+    target: Optional[EntryReference] = None
+    expires_at_time: Optional[int] = None
+    expires_at_block: Optional[int] = None
+    idle_ticks: int = 0
+
+
+class Workload:
+    """Base class: a seeded, finite stream of events."""
+
+    name = "abstract"
+
+    def __init__(self, *, seed: int = 42) -> None:
+        self.seed = seed
+        self.random = random.Random(seed)
+
+    def fresh_rng(self) -> random.Random:
+        """A new generator seeded with the workload seed.
+
+        Generator methods use this so that repeated calls (``events()``,
+        ``cases()``, ``transfers()``) return identical streams instead of
+        consuming shared random state.
+        """
+        return random.Random(self.seed)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Yield the workload's events; subclasses override."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[WorkloadEvent]:
+        return self.events()
+
+
+@dataclass
+class ReplayResult:
+    """Statistics collected while replaying a workload against a chain."""
+
+    entries: int = 0
+    deletions: int = 0
+    deletions_approved: int = 0
+    idle_blocks: int = 0
+    blocks_sealed: int = 0
+    size_series: list[tuple[int, int]] = field(default_factory=list)
+    length_series: list[tuple[int, int]] = field(default_factory=list)
+
+
+def replay(
+    workload: Workload,
+    chain: Blockchain,
+    *,
+    sample_every: int = 1,
+    one_block_per_entry: bool = True,
+) -> ReplayResult:
+    """Replay a workload against a chain and record growth series.
+
+    ``size_series`` / ``length_series`` record ``(total_blocks_created,
+    living_bytes)`` and ``(total_blocks_created, living_block_count)`` so the
+    growth benchmark can plot bounded-versus-unbounded behaviour (claim C1).
+    """
+    result = ReplayResult()
+    step = 0
+    for event in workload:
+        if event.kind is EventKind.ENTRY:
+            chain.add_entry(
+                event.data,
+                event.author,
+                expires_at_time=event.expires_at_time,
+                expires_at_block=event.expires_at_block,
+            )
+            result.entries += 1
+            if one_block_per_entry:
+                chain.seal_block()
+                result.blocks_sealed += 1
+        elif event.kind is EventKind.DELETION:
+            assert event.target is not None
+            decision = chain.request_deletion(event.target, event.author)
+            result.deletions += 1
+            if decision.is_approved:
+                result.deletions_approved += 1
+            chain.seal_block()
+            result.blocks_sealed += 1
+        else:
+            chain.clock.advance(event.idle_ticks)
+            if chain.idle_tick() is not None:
+                result.idle_blocks += 1
+                result.blocks_sealed += 1
+        step += 1
+        if sample_every and step % sample_every == 0:
+            result.size_series.append((chain.total_blocks_created, chain.byte_size()))
+            result.length_series.append((chain.total_blocks_created, chain.length))
+    result.size_series.append((chain.total_blocks_created, chain.byte_size()))
+    result.length_series.append((chain.total_blocks_created, chain.length))
+    return result

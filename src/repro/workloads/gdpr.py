@@ -1,0 +1,97 @@
+"""GDPR right-to-erasure workload (Section II).
+
+Personal-data records are written continuously; data subjects later exercise
+their Art. 17 right to erasure with a configurable probability and delay.
+The workload drives the baseline comparison (claim C5) and the deletion
+latency benchmark (claim C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.workloads.base import EventKind, Workload, WorkloadEvent
+
+
+@dataclass(frozen=True)
+class ErasureCase:
+    """One data subject's record plus the point at which erasure is requested."""
+
+    record_index: int
+    subject: str
+    erase_after: Optional[int]  # stream position of the erasure, None = never
+
+
+class GdprErasureWorkload(Workload):
+    """Personal-data stream with delayed erasure requests."""
+
+    name = "gdpr-erasure"
+
+    def __init__(
+        self,
+        *,
+        num_records: int = 200,
+        num_subjects: int = 25,
+        erasure_probability: float = 0.25,
+        min_delay: int = 5,
+        max_delay: int = 50,
+        seed: int = 99,
+    ) -> None:
+        super().__init__(seed=seed)
+        if num_records < 0 or num_subjects < 1:
+            raise ValueError("invalid GDPR workload parameters")
+        if not 0.0 <= erasure_probability <= 1.0:
+            raise ValueError("erasure_probability must be within [0, 1]")
+        if min_delay < 1 or max_delay < min_delay:
+            raise ValueError("delays must satisfy 1 <= min_delay <= max_delay")
+        self.num_records = num_records
+        self.num_subjects = num_subjects
+        self.erasure_probability = erasure_probability
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+
+    def subject(self, index: int) -> str:
+        """Deterministic data-subject name."""
+        return f"SUBJECT{index:03d}"
+
+    def cases(self) -> list[ErasureCase]:
+        """Materialise which records will request erasure, and when."""
+        rng = self.fresh_rng()
+        cases: list[ErasureCase] = []
+        for record_index in range(self.num_records):
+            subject = self.subject(rng.randrange(self.num_subjects))
+            erase_after: Optional[int] = None
+            if rng.random() < self.erasure_probability:
+                erase_after = record_index + rng.randrange(self.min_delay, self.max_delay + 1)
+            cases.append(ErasureCase(record_index=record_index, subject=subject, erase_after=erase_after))
+        return cases
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Record submissions only; erasure timing is exposed via :meth:`cases`.
+
+        The block number of each record depends on the chain configuration,
+        so the erasure requests themselves are issued by the driver (see the
+        GDPR example and the comparison benchmark), which looks up the real
+        :class:`EntryReference` of each written record before requesting the
+        deletion at the scheduled stream position.
+        """
+        for case in self.cases():
+            yield WorkloadEvent(
+                kind=EventKind.ENTRY,
+                author=case.subject,
+                data={
+                    "D": f"personal data of {case.subject} (record {case.record_index})",
+                    "K": case.subject,
+                    "S": f"sig_{case.subject}",
+                    "record_index": case.record_index,
+                },
+            )
+
+    def erasure_schedule(self) -> dict[int, list[int]]:
+        """Map stream position -> record indices whose erasure is due there."""
+        schedule: dict[int, list[int]] = {}
+        for case in self.cases():
+            if case.erase_after is not None:
+                schedule.setdefault(case.erase_after, []).append(case.record_index)
+        return schedule

@@ -1,0 +1,142 @@
+"""Login / audit-logging workload (Sections II and V).
+
+Two generators:
+
+* :class:`PaperScenarioWorkload` replays the exact evaluation trace of the
+  paper — logins of ALPHA, BRAVO and CHARLIE, BRAVO's deletion request for
+  (block 3, entry 1), and enough further activity to run the summarisation
+  cycles of Figs. 6-8,
+* :class:`LoginAuditWorkload` generates synthetic login streams of arbitrary
+  size for the growth and latency benchmarks, with a configurable deletion
+  rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.entry import EntryReference
+from repro.workloads.base import EventKind, Workload, WorkloadEvent
+
+#: The three participants of the paper's evaluation (Section V).
+PAPER_USERS = ("ALPHA", "BRAVO", "CHARLIE")
+
+
+def login_record(user: str, *, detail: str = "") -> dict[str, str]:
+    """Entry payload of one login event in the paper's D/K/S structure."""
+    record = f"Login {user}" if not detail else f"Login {user} {detail}"
+    return {"D": record, "K": user, "S": f"sig_{user}"}
+
+
+class PaperScenarioWorkload(Workload):
+    """The exact scenario of Figs. 6-8."""
+
+    name = "paper-scenario"
+
+    def __init__(self, *, extra_cycles: int = 1) -> None:
+        super().__init__(seed=0)
+        self.extra_cycles = extra_cycles
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Logins by ALPHA/BRAVO/CHARLIE, BRAVO's deletion, further logins."""
+        # Fig. 6: one login per user -> entries in blocks 1, 3 and 4.
+        for user in PAPER_USERS:
+            yield WorkloadEvent(kind=EventKind.ENTRY, author=user, data=login_record(user))
+        # Fig. 7: BRAVO requests deletion of its own entry (block 3, entry 1).
+        yield WorkloadEvent(
+            kind=EventKind.DELETION,
+            author="BRAVO",
+            target=EntryReference(3, 1),
+        )
+        # Keep the chain moving so the summarisation cycles of Figs. 7/8 run.
+        for cycle in range(self.extra_cycles * 3 + 1):
+            user = PAPER_USERS[cycle % len(PAPER_USERS)]
+            yield WorkloadEvent(
+                kind=EventKind.ENTRY,
+                author=user,
+                data=login_record(user, detail=f"(cycle {cycle + 1})"),
+            )
+
+
+class LoginAuditWorkload(Workload):
+    """Synthetic login stream with an optional GDPR-style deletion rate."""
+
+    name = "login-audit"
+
+    def __init__(
+        self,
+        *,
+        num_events: int = 1000,
+        num_users: int = 10,
+        deletion_rate: float = 0.0,
+        idle_rate: float = 0.0,
+        idle_ticks: int = 5,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(seed=seed)
+        if num_events < 0 or num_users < 1:
+            raise ValueError("num_events must be >= 0 and num_users >= 1")
+        if not 0.0 <= deletion_rate <= 1.0 or not 0.0 <= idle_rate <= 1.0:
+            raise ValueError("rates must be within [0, 1]")
+        self.num_events = num_events
+        self.num_users = num_users
+        self.deletion_rate = deletion_rate
+        self.idle_rate = idle_rate
+        self.idle_ticks = idle_ticks
+
+    def user(self, index: int) -> str:
+        """Deterministic user name for an index."""
+        if index < len(PAPER_USERS):
+            return PAPER_USERS[index]
+        return f"USER{index:03d}"
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        """Logins interleaved with deletions of previously written entries.
+
+        Entries are written one per block (the evaluation's model), so the
+        n-th entry of the stream ends up in a deterministic block number;
+        deletion targets are drawn from already-written entries of the same
+        user, and the block number is estimated from the submission order —
+        good enough for load generation, exact targeting is the example
+        applications' job.
+        """
+        rng = self.fresh_rng()
+        written: dict[str, list[EntryReference]] = {}
+        data_blocks_emitted = 0
+        for _ in range(self.num_events):
+            roll = rng.random()
+            if roll < self.idle_rate:
+                yield WorkloadEvent(kind=EventKind.IDLE, idle_ticks=self.idle_ticks)
+                continue
+            user = self.user(rng.randrange(self.num_users))
+            candidates = written.get(user, [])
+            if candidates and roll < self.idle_rate + self.deletion_rate:
+                target = candidates[rng.randrange(len(candidates))]
+                yield WorkloadEvent(kind=EventKind.DELETION, author=user, target=target)
+                data_blocks_emitted += 1
+                continue
+            data_blocks_emitted += 1
+            # One entry per block and one summary block every l-1 data blocks
+            # is chain-specific; replay() resolves actual numbers.  We record
+            # an *approximate* reference assuming the paper configuration
+            # (sequence length 3: data blocks skip every third slot).
+            approx_block = self._approximate_block_number(data_blocks_emitted)
+            reference = EntryReference(approx_block, 1)
+            written.setdefault(user, []).append(reference)
+            yield WorkloadEvent(
+                kind=EventKind.ENTRY,
+                author=user,
+                data=login_record(user, detail=f"#{data_blocks_emitted}"),
+            )
+
+    @staticmethod
+    def _approximate_block_number(data_block_index: int) -> int:
+        """Block number of the n-th data block under sequence length 3.
+
+        Data blocks occupy the non-summary slots 0, 1, 3, 4, 6, 7, ...; the
+        genesis block takes the first slot, so the n-th submitted entry lands
+        in the (n+1)-th data slot.
+        """
+        slot = data_block_index  # genesis occupies data-slot 0
+        full_pairs, remainder = divmod(slot, 2)
+        return full_pairs * 3 + remainder

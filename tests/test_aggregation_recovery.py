@@ -1,0 +1,142 @@
+"""Tests for the Section V-A enhancements: summarized information and recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_lost_coins, recoverable_after_deletion
+from repro.core import (
+    AggregatedRecord,
+    Blockchain,
+    ChainConfig,
+    EntryAggregator,
+    EntryReference,
+    aggregate_events,
+    compression_ratio,
+)
+from repro.workloads import CoinTransferWorkload, EventKind
+
+
+class TestEntryAggregator:
+    def test_repeated_events_collapse(self):
+        aggregator = EntryAggregator()
+        for tick in range(5):
+            aggregator.add("disk full", "SYSLOG", timestamp=tick)
+        records = aggregator.flush()
+        assert len(records) == 1
+        record = records[0]
+        assert record.count == 5
+        assert record.first_time == 0 and record.last_time == 4
+        assert record.to_entry_data()["D"] == "disk full (x5)"
+
+    def test_distinct_events_not_collapsed(self):
+        aggregator = EntryAggregator()
+        aggregator.add("login failed", "SYSLOG", timestamp=0)
+        completed = aggregator.add("disk full", "SYSLOG", timestamp=1)
+        assert completed is not None and completed.record == "login failed"
+        records = aggregator.flush()
+        assert [r.record for r in records] == ["login failed", "disk full"]
+
+    def test_runs_are_per_author(self):
+        aggregator = EntryAggregator()
+        aggregator.add("Login", "ALPHA", timestamp=0)
+        aggregator.add("Login", "BRAVO", timestamp=1)
+        aggregator.add("Login", "ALPHA", timestamp=2)
+        records = aggregator.flush()
+        counts = {record.author: record.count for record in records}
+        assert counts == {"ALPHA": 2, "BRAVO": 1}
+        assert aggregator.pending_authors() == []
+
+    def test_max_run_bounds_a_record(self):
+        aggregator = EntryAggregator(max_run=3)
+        for tick in range(7):
+            aggregator.add("heartbeat", "NODE", timestamp=tick)
+        records = aggregator.flush()
+        assert [record.count for record in records] == [3, 3, 1]
+
+    def test_invalid_max_run(self):
+        with pytest.raises(ValueError):
+            EntryAggregator(max_run=0)
+
+    def test_single_event_keeps_plain_description(self):
+        record = AggregatedRecord(record="boot", author="NODE", count=1, first_time=3, last_time=3)
+        assert record.to_entry_data()["D"] == "boot"
+
+    def test_aggregate_events_helper_and_ratio(self):
+        events = [{"record": "ping", "author": "MONITOR", "timestamp": i} for i in range(10)]
+        events += [{"record": "pong", "author": "MONITOR", "timestamp": 10}]
+        records = aggregate_events(events)
+        assert len(records) == 2
+        assert compression_ratio(len(events), records) == pytest.approx(5.5)
+        assert compression_ratio(0, []) == 1.0
+
+    def test_aggregated_entries_flow_into_the_chain(self):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        aggregator = EntryAggregator()
+        for tick in range(20):
+            aggregator.add("sensor reading unchanged", "PLANT-7", timestamp=tick)
+        for record in aggregator.flush():
+            chain.add_entry_block(record.to_entry_data(), record.author)
+        # 20 raw events became one block-resident entry.
+        assert chain.entry_count() == 1
+        stored = chain.block_by_number(1).entries[0]
+        assert stored.data["count"] == 20
+
+
+class TestLostCoinRecovery:
+    def build_coin_chain(self, num_transfers=40):
+        workload = CoinTransferWorkload(num_transfers=num_transfers, num_wallets=6, seed=5)
+        chain = Blockchain(ChainConfig(sequence_length=4))
+        for event in workload:
+            assert event.kind is EventKind.ENTRY
+            chain.add_entry_block(event.data, event.author)
+        return chain, workload
+
+    def test_locked_value_detected(self):
+        chain, workload = self.build_coin_chain()
+        report = analyze_lost_coins(chain, workload.lost_wallets())
+        assert report.total_minted > 0
+        assert report.lost_wallets == tuple(sorted(workload.lost_wallets()))
+        assert 0.0 <= report.locked_fraction <= 1.0
+        assert report.recoverable == report.locked_in_lost_wallets
+
+    def test_no_lost_wallets_means_nothing_locked(self):
+        chain, _ = self.build_coin_chain(num_transfers=10)
+        report = analyze_lost_coins(chain, [])
+        assert report.locked_in_lost_wallets == 0
+        assert report.locked_fraction == 0.0
+
+    def test_empty_chain(self):
+        chain = Blockchain(ChainConfig(sequence_length=3))
+        report = analyze_lost_coins(chain, ["WALLET00"])
+        assert report.total_minted == 0
+        assert report.locked_fraction == 0.0
+
+    def test_recovery_after_deletion_cycle(self):
+        chain, workload = self.build_coin_chain()
+        lost = workload.lost_wallets()
+        before = Blockchain.from_dict(chain.to_dict())
+        # The quorum deletes all transfers into lost wallets (recovery policy).
+        for block in list(chain.blocks):
+            for entry in block.entries:
+                if entry.data.get("receiver") in lost and not entry.is_deletion_request:
+                    chain.request_deletion(
+                        EntryReference(block.block_number, entry.entry_number),
+                        entry.author,
+                    )
+        chain.seal_block()
+        report = recoverable_after_deletion(before, chain, lost)
+        # Nothing physically deleted yet (no shrink configured), so the locked
+        # value is unchanged — but the report structure is consistent.
+        assert report.already_freed >= 0
+        assert report.recoverable == report.locked_in_lost_wallets
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b"]), st.sampled_from(["X", "Y"])), max_size=30))
+def test_aggregation_preserves_event_count(pairs):
+    """Property: the summed counts of aggregated records equal the raw count."""
+    aggregator = EntryAggregator()
+    for tick, (record, author) in enumerate(pairs):
+        aggregator.add(record, author, timestamp=tick)
+    records = aggregator.flush()
+    assert sum(record.count for record in records) == len(pairs)

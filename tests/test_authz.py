@@ -1,0 +1,212 @@
+"""Tests for role-based authorization and the semantic-cohesion models."""
+
+import pytest
+
+from repro.authz import (
+    AccessController,
+    BellLaPadulaModel,
+    BrewerNashModel,
+    CohesionPolicy,
+    DependencyGraph,
+    Permission,
+    Role,
+    SecurityLevel,
+)
+from repro.core import Blockchain, ChainConfig, EntryReference
+from repro.core.errors import AuthorizationError, CohesionError
+
+
+def login(user):
+    return {"D": f"Login {user}", "K": user, "S": f"sig_{user}"}
+
+
+class TestAccessController:
+    def test_default_role_is_user(self):
+        controller = AccessController()
+        assert controller.role_of("ALPHA") is Role.USER
+        assert controller.has_permission("ALPHA", Permission.DELETE_OWN)
+        assert not controller.has_permission("ALPHA", Permission.DELETE_FOREIGN)
+
+    def test_admin_assignment(self):
+        controller = AccessController()
+        controller.assign_admins(["anchor-0", "anchor-1"])
+        assert controller.role_of("anchor-0") is Role.ADMIN
+        assert controller.has_permission("anchor-0", Permission.DELETE_FOREIGN)
+        assert controller.statistics()["admin"] == 2
+
+    def test_auditor_cannot_delete(self):
+        controller = AccessController()
+        controller.assign("AUDIT", Role.AUDITOR)
+        assert not controller.has_permission("AUDIT", Permission.DELETE_OWN)
+        with pytest.raises(AuthorizationError):
+            controller.require("AUDIT", Permission.DELETE_OWN)
+
+    def test_no_default_role(self):
+        controller = AccessController(default_role=None)
+        with pytest.raises(AuthorizationError):
+            controller.role_of("stranger")
+        assert not controller.has_permission("stranger", Permission.READ_CHAIN)
+
+    def test_deletion_authorizer_with_chain(self):
+        controller = AccessController()
+        controller.assign("ADMIN", Role.ADMIN)
+        controller.assign("AUDIT", Role.AUDITOR)
+        # Use a non-shrinking configuration so block numbers stay stable.
+        chain = Blockchain(
+            ChainConfig(sequence_length=3), authorizer=controller.deletion_authorizer()
+        )
+        alpha_block = chain.add_entry_block(login("ALPHA"), "ALPHA")
+        bravo_block = chain.add_entry_block(login("BRAVO"), "BRAVO")
+        audit_block = chain.add_entry_block(login("AUDIT"), "AUDIT")
+        # Owner may delete own entry.
+        assert chain.request_deletion(EntryReference(alpha_block.block_number, 1), "ALPHA").is_approved
+        chain.seal_block()
+        # Admin may delete a foreign entry.
+        assert chain.request_deletion(EntryReference(bravo_block.block_number, 1), "ADMIN").is_approved
+        chain.seal_block()
+        # A plain user may not delete foreign entries.
+        assert not chain.request_deletion(
+            EntryReference(bravo_block.block_number, 1), "CHARLIE"
+        ).is_approved
+        chain.seal_block()
+        # An auditor may not even delete its own entries.
+        assert not chain.request_deletion(
+            EntryReference(audit_block.block_number, 1), "AUDIT"
+        ).is_approved
+
+
+class TestDependencyGraph:
+    def test_dependants_and_transitive_closure(self):
+        graph = DependencyGraph()
+        a, b, c = EntryReference(1, 1), EntryReference(3, 1), EntryReference(4, 1)
+        graph.register_entry(a, "ALPHA")
+        graph.register_entry(b, "BRAVO")
+        graph.register_entry(c, "CHARLIE")
+        graph.add_dependency(b, a)  # b depends on a
+        graph.add_dependency(c, b)  # c depends on b
+        assert graph.dependants_of(a) == [b]
+        assert set(graph.transitive_dependants(a)) == {b, c}
+        assert graph.required_cosigners(a) == {"BRAVO", "CHARLIE"}
+
+    def test_self_dependency_rejected(self):
+        graph = DependencyGraph()
+        with pytest.raises(CohesionError):
+            graph.add_dependency(EntryReference(1, 1), EntryReference(1, 1))
+
+    def test_remove_entry_clears_edges(self):
+        graph = DependencyGraph()
+        a, b = EntryReference(1, 1), EntryReference(3, 1)
+        graph.add_dependency(b, a)
+        graph.remove_entry(b)
+        assert graph.dependants_of(a) == []
+
+
+class TestCohesionPolicy:
+    def build_chain_with_dependency(self):
+        policy = CohesionPolicy()
+        chain = Blockchain(ChainConfig.paper_evaluation(), cohesion_checker=policy.as_checker())
+        chain.add_entry_block(login("ALPHA"), "ALPHA")          # block 1
+        chain.add_entry_block(login("BRAVO"), "BRAVO")          # block 3
+        first, second = EntryReference(1, 1), EntryReference(3, 1)
+        policy.graph.register_entry(first, "ALPHA")
+        policy.graph.register_entry(second, "BRAVO")
+        policy.graph.add_dependency(second, first)
+        return chain, policy, first, second
+
+    def test_deletion_blocked_by_living_dependant(self):
+        chain, policy, first, _ = self.build_chain_with_dependency()
+        decision = chain.request_deletion(first, "ALPHA")
+        assert not decision.is_approved
+        assert "co-signatures" in decision.reason
+
+    def test_deletion_allowed_after_cosignature(self):
+        chain, policy, first, _ = self.build_chain_with_dependency()
+        policy.cosign(first, "BRAVO")
+        decision = chain.request_deletion(first, "ALPHA")
+        assert decision.is_approved
+
+    def test_deletion_of_leaf_entry_allowed(self):
+        chain, policy, _, second = self.build_chain_with_dependency()
+        decision = chain.request_deletion(second, "BRAVO")
+        assert decision.is_approved
+
+    def test_missing_cosigners_listing(self):
+        _, policy, first, _ = self.build_chain_with_dependency()
+        assert policy.missing_cosigners(first) == {"BRAVO"}
+        policy.cosign(first, "BRAVO")
+        assert policy.missing_cosigners(first) == set()
+        assert policy.cosigners_of(first) == {"BRAVO"}
+
+
+class TestBellLaPadula:
+    def test_read_write_delete_rules(self):
+        model = BellLaPadulaModel()
+        model.clear_subject("officer", SecurityLevel.SECRET)
+        model.clear_subject("intern", SecurityLevel.PUBLIC)
+        secret_entry = EntryReference(3, 1)
+        model.classify_entry(secret_entry, SecurityLevel.SECRET)
+        assert model.may_read("officer", secret_entry)
+        assert not model.may_read("intern", secret_entry)
+        assert model.may_write("intern", secret_entry)   # write up allowed
+        assert not model.may_write("officer", EntryReference(4, 1))  # write down denied
+        assert model.may_delete("officer", secret_entry)
+        assert not model.may_delete("intern", secret_entry)
+        with pytest.raises(AuthorizationError):
+            model.require_delete("intern", secret_entry)
+
+    def test_blp_cohesion_checker_on_chain(self):
+        model = BellLaPadulaModel()
+        model.clear_subject("OFFICER", SecurityLevel.SECRET)
+        model.clear_subject("INTERN", SecurityLevel.PUBLIC)
+        chain = Blockchain(
+            ChainConfig.paper_evaluation(),
+            cohesion_checker=model.as_cohesion_checker(),
+            admins=["OFFICER", "INTERN"],
+        )
+        chain.add_entry_block(login("ALPHA"), "ALPHA")
+        model.classify_entry(EntryReference(1, 1), SecurityLevel.CONFIDENTIAL)
+        assert chain.request_deletion(EntryReference(1, 1), "OFFICER").is_approved
+        assert not chain.request_deletion(EntryReference(1, 1), "INTERN").is_approved
+
+
+class TestBrewerNash:
+    def test_chinese_wall(self):
+        model = BrewerNashModel()
+        model.register_dataset("bank-a", "banking")
+        model.register_dataset("bank-b", "banking")
+        model.register_dataset("oil-x", "energy")
+        entry_a, entry_b = EntryReference(1, 1), EntryReference(3, 1)
+        model.tag_entry(entry_a, "bank-a")
+        model.tag_entry(entry_b, "bank-b")
+        model.record_access("analyst", "bank-a")
+        assert model.may_access("analyst", "bank-a")
+        assert not model.may_access("analyst", "bank-b")
+        assert model.may_access("analyst", "oil-x")
+        assert model.may_delete("analyst", entry_a)
+        assert not model.may_delete("analyst", entry_b)
+        assert model.may_delete("analyst", EntryReference(9, 1))  # untagged
+
+    def test_unknown_dataset_rejected(self):
+        model = BrewerNashModel()
+        with pytest.raises(AuthorizationError):
+            model.tag_entry(EntryReference(1, 1), "ghost")
+        with pytest.raises(AuthorizationError):
+            model.record_access("x", "ghost")
+        assert not model.may_access("x", "ghost")
+
+    def test_brewer_nash_cohesion_checker_on_chain(self):
+        model = BrewerNashModel()
+        model.register_dataset("bank-a", "banking")
+        model.register_dataset("bank-b", "banking")
+        chain = Blockchain(
+            ChainConfig.paper_evaluation(),
+            cohesion_checker=model.as_cohesion_checker(),
+            admins=["ANALYST"],
+        )
+        chain.add_entry_block(login("ALPHA"), "ALPHA")   # block 1 -> bank-a
+        chain.add_entry_block(login("BRAVO"), "BRAVO")   # block 3 -> bank-b
+        model.tag_entry(EntryReference(1, 1), "bank-a")
+        model.tag_entry(EntryReference(3, 1), "bank-b")
+        assert chain.request_deletion(EntryReference(1, 1), "ANALYST").is_approved
+        # The wall now blocks the competing dataset in the same class.
+        assert not chain.request_deletion(EntryReference(3, 1), "ANALYST").is_approved

@@ -1,0 +1,245 @@
+"""Unit tests for configuration, retention policies, schemas and clocks."""
+
+import pytest
+
+from repro.core.clock import FixedClock, LogicalClock, SystemClock
+from repro.core.config import (
+    ChainConfig,
+    LengthUnit,
+    RedundancyPolicy,
+    RetentionPolicy,
+    ShrinkStrategy,
+    SummaryMode,
+)
+from repro.core.errors import ConfigurationError, SchemaError
+from repro.core.schema import (
+    EntrySchema,
+    FieldSpec,
+    default_log_schema,
+    parse_schema_yaml,
+    schema_from_fields,
+)
+
+
+class TestRetentionPolicy:
+    def test_defaults(self):
+        policy = RetentionPolicy()
+        assert policy.max_length is None
+        assert policy.unit is LengthUnit.BLOCKS
+
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(max_length=0)
+
+    def test_rejects_negative_minimums(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(min_length=-1)
+
+    def test_rejects_min_above_max(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(max_length=5, min_length=9)
+
+    def test_time_unit_allows_min_above_max(self):
+        # In the TIME unit min_length counts blocks while max_length counts
+        # ticks, so the cross-check is skipped.
+        RetentionPolicy(unit=LengthUnit.TIME, max_length=5, min_length=9)
+
+    def test_roundtrip(self):
+        policy = RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=4, min_summary_blocks=2)
+        assert RetentionPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestChainConfig:
+    def test_defaults_are_valid(self):
+        config = ChainConfig()
+        assert config.sequence_length == 3
+        assert config.summary_mode is SummaryMode.FULL_COPY
+
+    def test_rejects_tiny_sequence_length(self):
+        with pytest.raises(ConfigurationError):
+            ChainConfig(sequence_length=1)
+
+    def test_rejects_non_positive_idle_interval(self):
+        with pytest.raises(ConfigurationError):
+            ChainConfig(empty_block_interval=0)
+
+    def test_rejects_block_limit_below_sequence(self):
+        with pytest.raises(ConfigurationError):
+            ChainConfig(
+                sequence_length=5,
+                retention=RetentionPolicy(unit=LengthUnit.BLOCKS, max_length=3),
+            )
+
+    def test_roundtrip(self):
+        config = ChainConfig(
+            sequence_length=4,
+            retention=RetentionPolicy(unit=LengthUnit.SEQUENCES, max_length=3),
+            shrink_strategy=ShrinkStrategy.SINGLE_SEQUENCE,
+            summary_mode=SummaryMode.MERKLE_REFERENCE,
+            redundancy=RedundancyPolicy.MIDDLE_MERKLE_ROOT,
+            empty_block_interval=7,
+            signature_scheme="ecdsa",
+            allow_foreign_deletion_by_admin=False,
+        )
+        assert ChainConfig.from_dict(config.to_dict()) == config
+
+    def test_paper_evaluation_profile(self):
+        config = ChainConfig.paper_evaluation()
+        assert config.sequence_length == 3
+        assert config.retention.unit is LengthUnit.SEQUENCES
+        assert config.retention.max_length == 2
+        assert config.shrink_strategy is ShrinkStrategy.ALL_OLD
+
+
+class TestFieldSpec:
+    def test_type_validation(self):
+        spec = FieldSpec(name="D", type_name="str")
+        spec.validate("ok")
+        with pytest.raises(SchemaError):
+            spec.validate(13)
+
+    def test_bool_is_not_int(self):
+        spec = FieldSpec(name="count", type_name="int")
+        with pytest.raises(SchemaError):
+            spec.validate(True)
+
+    def test_max_length(self):
+        spec = FieldSpec(name="D", type_name="str", max_length=3)
+        spec.validate("abc")
+        with pytest.raises(SchemaError):
+            spec.validate("abcd")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec(name="x", type_name="complex")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec(name="")
+
+    def test_non_positive_max_length_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec(name="x", max_length=0)
+
+
+class TestEntrySchema:
+    def test_default_log_schema_accepts_paper_entries(self):
+        schema = default_log_schema()
+        schema.validate({"D": "Login ALPHA", "K": "ALPHA", "S": "sig_ALPHA"})
+
+    def test_missing_required_field(self):
+        schema = default_log_schema()
+        with pytest.raises(SchemaError):
+            schema.validate({"D": "Login", "K": "ALPHA"})
+
+    def test_extra_fields_controlled(self):
+        strict = EntrySchema(name="strict", fields=(FieldSpec(name="D", type_name="str"),))
+        with pytest.raises(SchemaError):
+            strict.validate({"D": "x", "extra": 1})
+        relaxed = EntrySchema(
+            name="relaxed", fields=(FieldSpec(name="D", type_name="str"),), allow_extra_fields=True
+        )
+        relaxed.validate({"D": "x", "extra": 1})
+
+    def test_optional_field_may_be_absent(self):
+        schema = EntrySchema(
+            name="s",
+            fields=(FieldSpec(name="D", type_name="str"), FieldSpec(name="note", required=False)),
+        )
+        schema.validate({"D": "x"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            default_log_schema().validate(["not", "a", "mapping"])
+
+    def test_is_valid_boolean_form(self):
+        schema = default_log_schema()
+        assert schema.is_valid({"D": "x", "K": "A", "S": "s"})
+        assert not schema.is_valid({})
+
+    def test_schema_from_fields(self):
+        schema = schema_from_fields("vehicle", {"vin": "str", "mileage": "int"}, required=["vin"])
+        schema.validate({"vin": "W0L000051T2123456", "mileage": 5})
+        schema.validate({"vin": "W0L000051T2123456"})
+        with pytest.raises(SchemaError):
+            schema.validate({"mileage": 5})
+
+    def test_field_names_and_to_dict(self):
+        schema = default_log_schema()
+        assert schema.field_names() == ["D", "K", "S"]
+        assert schema.to_dict()["name"] == "login-log"
+
+
+class TestSchemaYaml:
+    YAML = """
+    # paper-style entry schema
+    D:
+      type: str
+      required: true
+      max_length: 256
+      description: "data record"
+    K:
+      type: str
+    S:
+      type: str
+      required: yes
+    retries:
+      type: int
+      required: false
+    """
+
+    def test_parse_and_validate(self):
+        schema = parse_schema_yaml(self.YAML, name="audit")
+        schema.validate({"D": "Login", "K": "ALPHA", "S": "sig", "retries": 2})
+        with pytest.raises(SchemaError):
+            schema.validate({"D": 5, "K": "ALPHA", "S": "sig"})
+
+    def test_parse_rejects_garbage_lines(self):
+        with pytest.raises(SchemaError):
+            parse_schema_yaml("just some text without colon")
+
+    def test_parse_rejects_inline_top_level_value(self):
+        with pytest.raises(SchemaError):
+            parse_schema_yaml("D: str")
+
+    def test_parse_rejects_orphan_attribute(self):
+        with pytest.raises(SchemaError):
+            parse_schema_yaml("  type: str")
+
+    def test_parse_rejects_empty_document(self):
+        with pytest.raises(SchemaError):
+            parse_schema_yaml("# only a comment")
+
+    def test_scalar_interpretation(self):
+        schema = parse_schema_yaml("X:\n  type: 'str'\n  required: false\n  max_length: 12")
+        spec = schema.fields[0]
+        assert spec.type_name == "str"
+        assert spec.required is False
+        assert spec.max_length == 12
+
+
+class TestClocks:
+    def test_logical_clock_monotonic(self):
+        clock = LogicalClock()
+        assert [clock.now() for _ in range(3)] == [0, 1, 2]
+
+    def test_logical_clock_peek_and_advance(self):
+        clock = LogicalClock(start=5)
+        assert clock.peek() == 5
+        clock.advance(10)
+        assert clock.now() == 15
+
+    def test_logical_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogicalClock(step=-1)
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-1)
+
+    def test_fixed_clock(self):
+        clock = FixedClock(9)
+        assert clock.now() == 9
+        clock.set(11)
+        assert clock.now() == 11
+
+    def test_system_clock_returns_int(self):
+        assert isinstance(SystemClock().now(), int)

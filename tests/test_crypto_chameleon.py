@@ -1,0 +1,87 @@
+"""Unit tests for the chameleon-hash primitive used by the redaction baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.chameleon import ChameleonHash, DEFAULT_SAFE_PRIME
+
+
+@pytest.fixture(scope="module")
+def chameleon():
+    return ChameleonHash.from_seed("test-trapdoor")
+
+
+class TestBasicHashing:
+    def test_digest_is_deterministic(self, chameleon):
+        assert chameleon.digest({"m": 1}, 42) == chameleon.digest({"m": 1}, 42)
+
+    def test_digest_depends_on_message(self, chameleon):
+        assert chameleon.digest({"m": 1}, 42) != chameleon.digest({"m": 2}, 42)
+
+    def test_digest_depends_on_randomness(self, chameleon):
+        assert chameleon.digest({"m": 1}, 42) != chameleon.digest({"m": 1}, 43)
+
+    def test_verify(self, chameleon):
+        digest = chameleon.digest("payload", 7)
+        assert chameleon.verify("payload", 7, digest)
+        assert not chameleon.verify("payload", 8, digest)
+
+    def test_random_nonce_in_range(self, chameleon):
+        for _ in range(10):
+            nonce = chameleon.random_nonce()
+            assert 1 <= nonce < chameleon.parameters.q
+
+
+class TestCollisions:
+    def test_collision_preserves_digest(self, chameleon):
+        old_message = {"block": "original entry"}
+        new_message = {"block": "redacted entry"}
+        randomness = 12345
+        digest = chameleon.digest(old_message, randomness)
+        collision = chameleon.find_collision(old_message, randomness, new_message)
+        assert chameleon.verify(new_message, collision.new_randomness, digest)
+        assert collision.digest == digest
+
+    def test_collision_requires_trapdoor(self, chameleon):
+        public = chameleon.public_instance()
+        with pytest.raises(PermissionError):
+            public.find_collision({"m": 1}, 1, {"m": 2})
+
+    def test_public_instance_can_still_verify(self, chameleon):
+        digest = chameleon.digest({"m": 1}, 99)
+        assert chameleon.public_instance().verify({"m": 1}, 99, digest)
+
+
+class TestParameters:
+    def test_generate_random_trapdoor(self):
+        instance = ChameleonHash.generate()
+        assert instance.parameters.has_trapdoor
+
+    def test_from_seed_is_deterministic(self):
+        a = ChameleonHash.from_seed("x")
+        b = ChameleonHash.from_seed("x")
+        assert a.parameters.trapdoor == b.parameters.trapdoor
+
+    def test_invalid_trapdoor_rejected(self):
+        q = (DEFAULT_SAFE_PRIME - 1) // 2
+        with pytest.raises(ValueError):
+            ChameleonHash.generate(trapdoor=q + 5)
+        with pytest.raises(ValueError):
+            ChameleonHash.generate(trapdoor=1)
+
+    def test_public_only_strips_trapdoor(self):
+        instance = ChameleonHash.from_seed("y")
+        assert not instance.parameters.public_only().has_trapdoor
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=4),
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=4),
+    st.integers(min_value=1, max_value=10**9),
+)
+def test_collision_property(old_message, new_message, randomness):
+    chameleon = ChameleonHash.from_seed("property")
+    digest = chameleon.digest(old_message, randomness)
+    collision = chameleon.find_collision(old_message, randomness, new_message)
+    assert chameleon.verify(new_message, collision.new_randomness, digest)

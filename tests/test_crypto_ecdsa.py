@@ -1,0 +1,240 @@
+"""Unit tests for repro.crypto.ecdsa, repro.crypto.keys and signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ecdsa import (
+    SECP256K1,
+    CurvePoint,
+    EcdsaSignature,
+    derive_public_key,
+    ecdsa_sign,
+    ecdsa_verify,
+    modular_inverse,
+)
+from repro.crypto.keys import KeyPair, derive_address, verify_with_public_key
+from repro.crypto.signatures import (
+    EcdsaScheme,
+    SimplifiedScheme,
+    new_scheme,
+    register_scheme,
+    SignatureScheme,
+)
+
+
+class TestCurveArithmetic:
+    def test_generator_is_on_curve(self):
+        point = CurvePoint.generator()
+        assert not point.is_infinity
+
+    def test_generator_order(self):
+        assert (SECP256K1.n * CurvePoint.generator()).is_infinity
+
+    def test_addition_commutes(self):
+        g = CurvePoint.generator()
+        assert (2 * g) + (3 * g) == (3 * g) + (2 * g)
+
+    def test_addition_is_associative_on_multiples(self):
+        g = CurvePoint.generator()
+        assert ((2 * g) + (3 * g)) + (5 * g) == (2 * g) + ((3 * g) + (5 * g))
+
+    def test_scalar_multiplication_matches_repeated_addition(self):
+        g = CurvePoint.generator()
+        total = CurvePoint.infinity()
+        for _ in range(7):
+            total = total + g
+        assert total == 7 * g
+
+    def test_point_plus_negative_is_infinity(self):
+        p = 5 * CurvePoint.generator()
+        assert (p + (-p)).is_infinity
+
+    def test_infinity_is_neutral(self):
+        p = 9 * CurvePoint.generator()
+        assert p + CurvePoint.infinity() == p
+        assert CurvePoint.infinity() + p == p
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(ValueError):
+            CurvePoint(SECP256K1, 1, 1)
+
+    def test_compressed_encoding_roundtrip(self):
+        for k in (1, 2, 3, 12345, SECP256K1.n - 1):
+            point = k * CurvePoint.generator()
+            assert CurvePoint.decode(point.encode()) == point
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CurvePoint.decode("04deadbeef")
+
+    def test_modular_inverse(self):
+        assert modular_inverse(3, 7) == 5
+        with pytest.raises(ZeroDivisionError):
+            modular_inverse(0, 7)
+
+
+class TestSignVerify:
+    def test_sign_and_verify(self):
+        key = KeyPair.from_seed("alpha")
+        signature = ecdsa_sign(key.private_key, b"hello world")
+        assert ecdsa_verify(key.public_key, b"hello world", signature)
+
+    def test_wrong_message_fails(self):
+        key = KeyPair.from_seed("alpha")
+        signature = ecdsa_sign(key.private_key, b"hello world")
+        assert not ecdsa_verify(key.public_key, b"hello mars", signature)
+
+    def test_wrong_key_fails(self):
+        key = KeyPair.from_seed("alpha")
+        other = KeyPair.from_seed("bravo")
+        signature = ecdsa_sign(key.private_key, b"hello world")
+        assert not ecdsa_verify(other.public_key, b"hello world", signature)
+
+    def test_signing_is_deterministic(self):
+        key = KeyPair.from_seed("alpha")
+        assert ecdsa_sign(key.private_key, b"msg") == ecdsa_sign(key.private_key, b"msg")
+
+    def test_low_s_normalisation(self):
+        key = KeyPair.from_seed("alpha")
+        signature = ecdsa_sign(key.private_key, b"some message")
+        assert signature.s <= SECP256K1.n // 2
+
+    def test_signature_encoding_roundtrip(self):
+        key = KeyPair.from_seed("alpha")
+        signature = ecdsa_sign(key.private_key, b"roundtrip")
+        assert EcdsaSignature.decode(signature.encode()) == signature
+
+    def test_invalid_signature_range_rejected(self):
+        key = KeyPair.from_seed("alpha")
+        bogus = EcdsaSignature(r=0, s=1)
+        assert not ecdsa_verify(key.public_key, b"x", bogus)
+
+    def test_verify_against_infinity_rejected(self):
+        signature = ecdsa_sign(KeyPair.from_seed("a").private_key, b"x")
+        assert not ecdsa_verify(CurvePoint.infinity(), b"x", signature)
+
+    def test_private_key_out_of_range(self):
+        with pytest.raises(ValueError):
+            ecdsa_sign(0, b"x")
+        with pytest.raises(ValueError):
+            derive_public_key(SECP256K1.n)
+
+
+class TestKeyPair:
+    def test_from_seed_is_deterministic(self):
+        assert KeyPair.from_seed("alpha").address == KeyPair.from_seed("alpha").address
+
+    def test_generate_produces_distinct_keys(self):
+        assert KeyPair.generate().address != KeyPair.generate().address
+
+    def test_address_length(self):
+        assert len(KeyPair.from_seed("alpha").address) == 40
+
+    def test_derive_address_is_stable(self):
+        key = KeyPair.from_seed("alpha")
+        assert derive_address(key.public_key_hex) == key.address
+
+    def test_sign_text_and_verify_with_public_key(self):
+        key = KeyPair.from_seed("charlie")
+        signature_hex = key.sign_text("login event")
+        assert verify_with_public_key(key.public_key_hex, b"login event", signature_hex)
+        assert not verify_with_public_key(key.public_key_hex, b"other", signature_hex)
+
+    def test_verify_with_malformed_inputs(self):
+        assert not verify_with_public_key("zz", b"m", "00")
+        key = KeyPair.from_seed("alpha")
+        assert not verify_with_public_key(key.public_key_hex, b"m", "not-a-signature")
+
+    def test_rejects_invalid_private_key(self):
+        with pytest.raises(ValueError):
+            KeyPair(private_key=0)
+
+
+class TestSignatureSchemes:
+    def test_simplified_roundtrip(self):
+        scheme = SimplifiedScheme()
+        signed = scheme.sign({"D": "Login"}, "ALPHA")
+        assert scheme.verify(signed)
+        assert SimplifiedScheme.display(signed) == "sig_ALPHA"
+
+    def test_simplified_tamper_detection(self):
+        scheme = SimplifiedScheme()
+        signed = scheme.sign({"D": "Login"}, "ALPHA")
+        forged = type(signed)(payload={"D": "Logout"}, signer="ALPHA", signature=signed.signature)
+        assert not scheme.verify(forged)
+
+    def test_ecdsa_scheme_roundtrip(self):
+        scheme = EcdsaScheme()
+        key = KeyPair.from_seed("bravo")
+        signed = scheme.sign({"D": "Login"}, "BRAVO", key)
+        assert scheme.verify(signed)
+
+    def test_ecdsa_scheme_requires_key(self):
+        with pytest.raises(ValueError):
+            EcdsaScheme().sign({"D": "Login"}, "BRAVO")
+
+    def test_ecdsa_scheme_rejects_missing_public_key(self):
+        scheme = EcdsaScheme()
+        key = KeyPair.from_seed("bravo")
+        signed = scheme.sign({"D": "Login"}, "BRAVO", key)
+        stripped = type(signed)(payload=signed.payload, signer=signed.signer, signature=signed.signature)
+        assert not scheme.verify(stripped)
+
+    def test_same_signer_comparison(self):
+        scheme = EcdsaScheme()
+        key = KeyPair.from_seed("bravo")
+        other = KeyPair.from_seed("alpha")
+        first = scheme.sign({"n": 1}, "BRAVO", key)
+        second = scheme.sign({"n": 2}, "BRAVO", key)
+        third = scheme.sign({"n": 3}, "BRAVO", other)
+        assert scheme.same_signer(first, second)
+        assert not scheme.same_signer(first, third)
+
+    def test_new_scheme_factory(self):
+        assert isinstance(new_scheme("simplified"), SimplifiedScheme)
+        assert isinstance(new_scheme("ecdsa"), EcdsaScheme)
+        with pytest.raises(ValueError):
+            new_scheme("quantum")
+
+    def test_register_scheme(self):
+        class NullScheme(SignatureScheme):
+            name = "null"
+
+            def sign(self, payload, identity, key_pair=None):
+                from repro.crypto.signatures import SignedPayload
+
+                return SignedPayload(payload=payload, signer=identity, signature="null")
+
+            def verify(self, signed):
+                return signed.signature == "null"
+
+        register_scheme(NullScheme)
+        assert isinstance(new_scheme("null"), NullScheme)
+
+    def test_register_scheme_rejects_abstract_name(self):
+        class Nameless(SignatureScheme):
+            name = "abstract"
+
+            def sign(self, payload, identity, key_pair=None):  # pragma: no cover
+                raise NotImplementedError
+
+            def verify(self, signed):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_scheme(Nameless)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=0, max_size=64), st.text(min_size=1, max_size=12))
+def test_sign_verify_property(message, seed):
+    key = KeyPair.from_seed(seed)
+    signature = key.sign(message)
+    assert key.verify(message, signature)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=2**64))
+def test_public_key_derivation_is_group_homomorphism(k):
+    g = CurvePoint.generator()
+    assert derive_public_key(k % SECP256K1.n or 1) == (k % SECP256K1.n or 1) * g

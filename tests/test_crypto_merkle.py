@@ -1,0 +1,114 @@
+"""Unit tests for repro.crypto.merkle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import hash_hex, hash_pair
+from repro.crypto.merkle import EMPTY_TREE_ROOT, MerkleProof, MerkleTree, merkle_root
+
+
+class TestMerkleRoot:
+    def test_empty_tree_has_sentinel_root(self):
+        assert MerkleTree([]).root == EMPTY_TREE_ROOT
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        assert MerkleTree(["a"]).root == hash_hex("a")
+
+    def test_two_leaf_root(self):
+        expected = hash_pair(hash_hex("a"), hash_hex("b"))
+        assert MerkleTree(["a", "b"]).root == expected
+
+    def test_odd_leaf_duplication(self):
+        # Three leaves: last one is paired with itself at the first level.
+        left = hash_pair(hash_hex("a"), hash_hex("b"))
+        right = hash_pair(hash_hex("c"), hash_hex("c"))
+        assert MerkleTree(["a", "b", "c"]).root == hash_pair(left, right)
+
+    def test_root_changes_when_leaf_changes(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["a", "c"]).root
+
+    def test_root_is_order_sensitive(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root
+
+    def test_merkle_root_helper(self):
+        assert merkle_root(["x", "y"]) == MerkleTree(["x", "y"]).root
+
+
+class TestMutation:
+    def test_append_updates_root(self):
+        tree = MerkleTree(["a"])
+        before = tree.root
+        tree.append("b")
+        assert tree.root != before
+        assert len(tree) == 2
+
+    def test_extend(self):
+        tree = MerkleTree([])
+        tree.extend(["a", "b", "c"])
+        assert tree.root == MerkleTree(["a", "b", "c"]).root
+
+    def test_contains(self):
+        tree = MerkleTree([{"entry": 1}, {"entry": 2}])
+        assert tree.contains({"entry": 1})
+        assert not tree.contains({"entry": 3})
+
+
+class TestProofs:
+    def test_proof_verifies(self):
+        tree = MerkleTree([f"leaf-{i}" for i in range(7)])
+        for index in range(7):
+            assert tree.proof(index).verify()
+
+    def test_proof_roundtrip_serialisation(self):
+        proof = MerkleTree(["a", "b", "c"]).proof(1)
+        assert MerkleProof.from_dict(proof.to_dict()).verify()
+
+    def test_tampered_proof_fails(self):
+        proof = MerkleTree(["a", "b", "c", "d"]).proof(2)
+        tampered = MerkleProof(
+            leaf_index=proof.leaf_index,
+            leaf_hash=hash_hex("evil"),
+            path=proof.path,
+            root=proof.root,
+        )
+        assert not tampered.verify()
+
+    def test_proof_with_bad_side_marker_fails(self):
+        proof = MerkleTree(["a", "b"]).proof(0)
+        broken = MerkleProof(
+            leaf_index=0,
+            leaf_hash=proof.leaf_hash,
+            path=(("up", proof.path[0][1]),),
+            root=proof.root,
+        )
+        assert not broken.verify()
+
+    def test_proof_out_of_range(self):
+        tree = MerkleTree(["a"])
+        with pytest.raises(IndexError):
+            tree.proof(5)
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+
+    def test_proof_on_empty_tree(self):
+        with pytest.raises(IndexError):
+            MerkleTree([]).proof(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.text(max_size=8), min_size=1, max_size=16))
+def test_every_leaf_proof_verifies(leaves):
+    tree = MerkleTree(list(leaves))
+    for index in range(len(leaves)):
+        proof = tree.proof(index)
+        assert proof.verify()
+        assert proof.root == tree.root
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(), min_size=2, max_size=12), st.integers(min_value=0))
+def test_changing_any_leaf_changes_root(leaves, position):
+    index = position % len(leaves)
+    mutated = list(leaves)
+    mutated[index] = mutated[index] + 1
+    assert merkle_root(leaves) != merkle_root(mutated)

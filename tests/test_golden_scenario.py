@@ -1,0 +1,131 @@
+"""Golden-output regression tests for the paper's console figures.
+
+The rendered console output of the evaluation scenario is the paper's primary
+evidence (Figs. 6-8).  These tests pin the *structure* of that output —
+block-by-block layout, prefixes, entry lines and marker positions — so future
+refactorings cannot silently change what the reproduction prints, and
+property tests assert the chain-level invariants that must hold for any
+workload.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import render_chain
+from repro.core import Blockchain, ChainConfig, EntryReference, default_log_schema
+from repro.crypto.hashing import GENESIS_PREVIOUS_HASH
+
+
+def login(user):
+    return {"D": f"Login {user}", "K": user, "S": f"sig_{user}"}
+
+
+def build_fig6_chain() -> Blockchain:
+    chain = Blockchain(ChainConfig.paper_evaluation(), schema=default_log_schema())
+    for user in ("ALPHA", "BRAVO", "CHARLIE"):
+        chain.add_entry_block(login(user), user)
+    return chain
+
+
+def build_fig7_chain() -> Blockchain:
+    chain = build_fig6_chain()
+    chain.request_deletion(EntryReference(3, 1), "BRAVO")
+    chain.seal_block()
+    chain.add_entry_block(login("ALPHA"), "ALPHA")
+    return chain
+
+
+class TestGoldenFig6:
+    def test_structure_of_rendered_output(self):
+        lines = render_chain(build_fig6_chain()).splitlines()
+        # Header line plus one line per block plus one line per entry.
+        assert lines[0].startswith("genesis marker m -> block 0")
+        assert lines[1].startswith(f"0; t=0; prev={GENESIS_PREVIOUS_HASH}")
+        assert lines[2].startswith("1; t=1;")
+        assert lines[3].strip() == "1: D: Login ALPHA; K: ALPHA; S: sig_ALPHA"
+        assert lines[4].startswith("S2; t=1;")
+        assert lines[5].startswith("3; t=2;")
+        assert lines[6].strip() == "1: D: Login BRAVO; K: BRAVO; S: sig_BRAVO"
+        assert lines[7].startswith("4; t=3;")
+        assert lines[8].strip() == "1: D: Login CHARLIE; K: CHARLIE; S: sig_CHARLIE"
+        assert lines[9].startswith("S5; t=3;")
+        assert len(lines) == 10
+
+    def test_rendering_is_deterministic(self):
+        assert render_chain(build_fig6_chain()) == render_chain(build_fig6_chain())
+
+
+class TestGoldenFig7:
+    def test_structure_of_rendered_output(self):
+        text = render_chain(build_fig7_chain())
+        lines = text.splitlines()
+        assert lines[0].startswith("genesis marker m -> block 6; living blocks: 3; deleted blocks: 6")
+        assert lines[1].startswith("6; t=4;")
+        assert lines[2].strip() == "1: DEL: block 3, entry 1; K: BRAVO; S: sig_BRAVO"
+        assert lines[3].startswith("7; t=5;")
+        assert lines[5].startswith("S8; t=5;")
+        # The summary block carries ALPHA's and CHARLIE's copies but not BRAVO's.
+        assert "origin: block 1, entry 1" in text
+        assert "origin: block 4, entry 1" in text
+        assert "origin: block 3" not in text
+        assert "[merged sequences: 0, 1]" in text
+
+    def test_block_hash_chain_is_printed_consistently(self):
+        chain = build_fig7_chain()
+        text = render_chain(chain)
+        # The prev= field of each block matches the truncated hash of its
+        # predecessor as printed on the previous block line.
+        printed = [line for line in text.splitlines() if "; prev=" in line]
+        for previous_line, line in zip(printed, printed[1:]):
+            previous_hash = previous_line.split("hash=")[1][:5]
+            assert f"prev={previous_hash}" in line
+
+
+class TestChainInvariantProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.sampled_from(["ALPHA", "BRAVO", "CHARLIE", "DELTA"]), min_size=1, max_size=25),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_no_deletion_request_survives_in_summary_blocks(self, users, delete_after):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for index, user in enumerate(users):
+            block = chain.add_entry_block(login(user), user)
+            if index == delete_after:
+                chain.request_deletion(EntryReference(block.block_number, 1), user)
+                chain.seal_block()
+        for block in chain.blocks:
+            if block.is_summary:
+                assert all(not entry.is_deletion_request for entry in block.entries)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["ALPHA", "BRAVO"]), min_size=1, max_size=30))
+    def test_hash_links_hold_for_any_workload(self, users):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for user in users:
+            chain.add_entry_block(login(user), user)
+        blocks = chain.blocks
+        for previous, block in zip(blocks, blocks[1:]):
+            assert block.previous_hash == previous.block_hash
+        chain.validate(verify_signatures=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=15))
+    def test_approved_deletion_eventually_executes(self, extra_blocks):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        chain.add_entry_block(login("ALPHA"), "ALPHA")
+        chain.request_deletion(EntryReference(1, 1), "ALPHA")
+        chain.seal_block()
+        for _ in range(extra_blocks + 12):
+            chain.add_entry_block(login("BRAVO"), "BRAVO")
+        # With enough subsequent blocks the mark has always been executed.
+        assert chain.find_entry(EntryReference(1, 1)) is None
+        assert chain.registry.executed_count == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_marker_always_points_at_first_living_block(self, entries):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for i in range(entries):
+            chain.add_entry_block(login("ALPHA"), "ALPHA")
+        assert chain.blocks[0].block_number == chain.genesis_marker
+        assert chain.genesis_marker % chain.config.sequence_length == 0

@@ -1,0 +1,259 @@
+"""Tests for the storage backends and the Section III baseline systems."""
+
+import pytest
+
+from repro.baselines import (
+    HardForkChain,
+    ImmutableChain,
+    LocalPruningNode,
+    OffChainStore,
+    RecordRef,
+    RedactableChain,
+    SelectiveDeletionSystem,
+)
+from repro.core import Blockchain, ChainConfig
+from repro.core.errors import StorageError
+from repro.storage import (
+    JournalBlockStore,
+    MemoryBlockStore,
+    SnapshotManager,
+    load_snapshot,
+    persist_chain,
+    save_snapshot,
+)
+
+
+def build_chain(entries=5, *, config=None):
+    chain = Blockchain(config or ChainConfig.paper_evaluation())
+    for i in range(entries):
+        chain.add_entry_block({"D": f"e{i}", "K": "A", "S": "s"}, "A")
+    return chain
+
+
+class TestMemoryStore:
+    def test_append_get_iterate(self):
+        chain = build_chain(2)
+        store = MemoryBlockStore()
+        for block in chain.blocks:
+            store.append(block)
+        assert len(store) == chain.length
+        assert store.get(chain.blocks[1].block_number).block_hash == chain.blocks[1].block_hash
+        assert [b.block_number for b in store] == [b.block_number for b in chain.blocks]
+        assert store.head().block_number == chain.head.block_number
+        assert store.byte_size() > 0
+
+    def test_rejects_duplicates_and_gaps(self):
+        chain = build_chain(1)
+        store = MemoryBlockStore()
+        store.append(chain.blocks[0])
+        with pytest.raises(StorageError):
+            store.append(chain.blocks[0])
+        with pytest.raises(StorageError):
+            store.append(chain.blocks[2])
+        with pytest.raises(StorageError):
+            store.get(99)
+
+    def test_truncate_before(self):
+        chain = build_chain(3)
+        store = MemoryBlockStore()
+        for block in chain.blocks:
+            store.append(block)
+        removed = store.truncate_before(chain.blocks[2].block_number)
+        assert removed == 2
+        assert len(store) == chain.length - 2
+
+    def test_persist_chain_helper(self):
+        chain = build_chain(2)
+        store = MemoryBlockStore()
+        added = persist_chain(store, chain.blocks)
+        assert added == chain.length
+        chain.add_entry_block({"D": "x", "K": "A", "S": "s"}, "A")
+        added_again = persist_chain(store, chain.blocks)
+        assert added_again >= 1
+        assert store.head().block_number == chain.head.block_number
+
+
+class TestJournalStore:
+    def test_roundtrip_and_reload(self, tmp_path):
+        chain = build_chain(3)
+        path = tmp_path / "journal.log"
+        store = JournalBlockStore(path)
+        for block in chain.blocks:
+            store.append(block)
+        reloaded = JournalBlockStore(path)
+        assert len(reloaded) == chain.length
+        assert reloaded.get(chain.head.block_number).block_hash == chain.head.block_hash
+
+    def test_truncate_and_compact_reclaims_space(self, tmp_path):
+        chain = build_chain(6, config=ChainConfig(sequence_length=3))
+        path = tmp_path / "journal.log"
+        store = JournalBlockStore(path)
+        for block in chain.blocks:
+            store.append(block)
+        size_before = store.file_size()
+        removed = store.truncate_before(chain.blocks[4].block_number)
+        assert removed == 4
+        saved = store.compact()
+        assert saved > 0
+        assert store.file_size() < size_before
+        reloaded = JournalBlockStore(path)
+        assert len(reloaded) == len(store)
+
+    def test_truncation_survives_reload_without_compaction(self, tmp_path):
+        chain = build_chain(6, config=ChainConfig(sequence_length=3))
+        path = tmp_path / "journal.log"
+        store = JournalBlockStore(path)
+        for block in chain.blocks:
+            store.append(block)
+        store.truncate_before(chain.blocks[3].block_number)
+        reloaded = JournalBlockStore(path)
+        assert len(reloaded) == len(store)
+        with pytest.raises(StorageError):
+            reloaded.get(chain.blocks[0].block_number)
+
+    def test_corrupt_journal_detected(self, tmp_path):
+        path = tmp_path / "journal.log"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            JournalBlockStore(path)
+
+    def test_gap_rejected(self, tmp_path):
+        chain = build_chain(2)
+        store = JournalBlockStore(tmp_path / "j.log")
+        store.append(chain.blocks[0])
+        with pytest.raises(StorageError):
+            store.append(chain.blocks[3])
+
+
+class TestSnapshots:
+    def test_save_and_load(self, tmp_path):
+        chain = build_chain(4)
+        path = tmp_path / "snap.json"
+        written = save_snapshot(chain, path)
+        assert written > 0
+        restored = load_snapshot(path)
+        assert restored.head.block_hash == chain.head.block_hash
+        assert restored.genesis_marker == chain.genesis_marker
+
+    def test_load_missing_or_corrupt(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_snapshot(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_snapshot(bad)
+
+    def test_snapshot_manager_rotation(self, tmp_path):
+        manager = SnapshotManager(tmp_path, keep=2)
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for i in range(4):
+            chain.add_entry_block({"D": f"e{i}", "K": "A", "S": "s"}, "A")
+            manager.save(chain)
+        assert len(manager.existing_snapshots()) == 2
+        restored = manager.restore_latest()
+        assert restored.head.block_number == chain.head.block_number
+
+    def test_snapshot_manager_errors(self, tmp_path):
+        with pytest.raises(StorageError):
+            SnapshotManager(tmp_path, keep=0)
+        manager = SnapshotManager(tmp_path / "empty")
+        assert manager.latest() is None
+        with pytest.raises(StorageError):
+            manager.restore_latest()
+
+
+def record(i, subject="ALPHA"):
+    return {"D": f"record {i} of {subject}", "K": subject, "S": f"sig_{subject}"}
+
+
+class TestImmutableChain:
+    def test_append_and_no_deletion(self):
+        chain = ImmutableChain()
+        refs = [chain.append_record(record(i), "ALPHA") for i in range(5)]
+        assert chain.record_count() == 5
+        assert chain.verify()
+        outcome = chain.request_erasure(refs[2], "ALPHA")
+        assert not outcome.accepted
+        assert chain.record_retrievable(refs[2])
+        assert chain.storage_bytes() > 0
+        assert not chain.capabilities()["selective_deletion"]
+
+
+class TestLocalPruning:
+    def test_pruning_is_local_only(self):
+        node = LocalPruningNode(keep_recent=2)
+        refs = [node.append_record(record(i), "ALPHA") for i in range(6)]
+        outcome = node.request_erasure(refs[0], "ALPHA")
+        assert outcome.accepted and not outcome.globally_effective
+        assert node.record_retrievable(refs[0])          # archival copy remains
+        assert not node.locally_retrievable(refs[0])     # pruned locally
+        assert node.storage_bytes() < node.archive_bytes()
+        with pytest.raises(ValueError):
+            LocalPruningNode(keep_recent=0)
+
+
+class TestHardFork:
+    def test_fork_removes_record_at_linear_cost(self):
+        chain = HardForkChain()
+        for i in range(10):
+            chain.append_record(record(i), "ALPHA")
+        outcome = chain.request_erasure(RecordRef(index=2), "ALPHA")
+        assert outcome.accepted and outcome.globally_effective
+        assert chain.record_count() == 9
+        assert chain.verify()
+        assert outcome.effort_units >= 7  # blocks after index 2 re-hashed
+        assert not chain.record_exists(record(2), "ALPHA")
+        assert chain.record_exists(record(3), "ALPHA")
+        assert chain.total_effort == outcome.effort_units
+        assert HardForkChain.rebuild_cost(100, 10) == 90
+
+    def test_unknown_record(self):
+        chain = HardForkChain()
+        outcome = chain.request_erasure(RecordRef(index=5), "ALPHA")
+        assert not outcome.accepted
+
+
+class TestRedactableChain:
+    def test_redaction_keeps_chain_valid(self):
+        chain = RedactableChain()
+        refs = [chain.append_record(record(i), "ALPHA") for i in range(5)]
+        assert chain.verify()
+        outcome = chain.request_erasure(refs[1], "ALPHA")
+        assert outcome.accepted and outcome.globally_effective
+        assert chain.verify()
+        assert not chain.record_retrievable(refs[1])
+        assert chain.record_retrievable(refs[2])
+        assert chain.block_count == 5  # the chain never shrinks
+        assert chain.capabilities()["requires_trapdoor_holder"]
+        assert chain.total_effort >= RedactableChain.REDACTION_EFFORT
+
+    def test_unknown_record(self):
+        chain = RedactableChain()
+        assert not chain.request_erasure(RecordRef(index=3), "X").accepted
+
+
+class TestOffChain:
+    def test_payload_erasure_leaves_pointer(self):
+        store = OffChainStore()
+        refs = [store.append_record(record(i), "ALPHA") for i in range(4)]
+        assert store.verify_payload(refs[0])
+        on_chain_before = store.on_chain_bytes()
+        outcome = store.request_erasure(refs[0], "ALPHA")
+        assert outcome.accepted and outcome.globally_effective
+        assert not store.record_retrievable(refs[0])
+        assert store.on_chain_bytes() == on_chain_before  # pointer never shrinks
+        assert not store.request_erasure(refs[0], "ALPHA").accepted  # idempotent failure
+        assert not store.verify_payload(refs[0])
+
+
+class TestSelectiveAdapter:
+    def test_selective_deletion_shrinks_and_erases(self):
+        system = SelectiveDeletionSystem()
+        refs = [system.append_record(record(i), "ALPHA") for i in range(8)]
+        outcome = system.request_erasure(refs[1], "ALPHA")
+        assert outcome.accepted
+        system.drain_retention()
+        assert not system.record_retrievable(refs[1])
+        assert system.record_retrievable(refs[-1])
+        assert system.capabilities()["selective_deletion"]
+        assert not system.request_erasure(RecordRef(index=999), "ALPHA").accepted
