@@ -26,6 +26,7 @@ from repro.analysis.report import (
     render_chain,
     render_comparison_table,
     render_events,
+    render_sequences,
     render_statistics,
 )
 
@@ -55,5 +56,6 @@ __all__ = [
     "render_chain",
     "render_comparison_table",
     "render_events",
+    "render_sequences",
     "render_statistics",
 ]

@@ -76,6 +76,21 @@ def render_statistics(chain: Blockchain) -> str:
     )
 
 
+def render_sequences(chain: Blockchain) -> str:
+    """Per-sequence footer: entry and byte counters for every living sequence ω.
+
+    Served by the chain index's rolling per-sequence aggregates, so rendering
+    cost does not grow with how often it is called.
+    """
+    lines = ["--- living sequences ---"]
+    for index, counters in chain.sequence_statistics().items():
+        lines.append(
+            f"sequence {index}: {counters['entry_count']} entries, "
+            f"{counters['byte_size']} bytes"
+        )
+    return "\n".join(lines)
+
+
 def render_events(chain: Blockchain, *, kinds: Iterable[str] = ()) -> str:
     """Render the audit trail (marker shifts, merges, deletions)."""
     wanted = set(kinds)

@@ -18,7 +18,12 @@ from typing import Optional, Sequence
 from repro.analysis.attack import attack_resistance_table
 from repro.analysis.compare import run_comparison
 from repro.analysis.metrics import final_reduction_factor
-from repro.analysis.report import render_chain, render_comparison_table, render_statistics
+from repro.analysis.report import (
+    render_chain,
+    render_comparison_table,
+    render_sequences,
+    render_statistics,
+)
 from repro.core.chain import Blockchain
 from repro.core.config import ChainConfig
 from repro.core.schema import default_log_schema
@@ -31,6 +36,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     replay(PaperScenarioWorkload(extra_cycles=args.cycles), chain)
     print(render_chain(chain, header="selective deletion — paper scenario"))
     print(render_statistics(chain))
+    print(render_sequences(chain))
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.core.deletion import (
     default_authorizer,
 )
 from repro.core.entry import Entry, EntryKind, EntryReference
+from repro.core.index import ChainIndex, SequenceAggregate, legacy_aggregates, legacy_find_entry
 from repro.core.errors import (
     AuthorizationError,
     ChainIntegrityError,
@@ -77,6 +78,10 @@ __all__ = [
     "Entry",
     "EntryKind",
     "EntryReference",
+    "ChainIndex",
+    "SequenceAggregate",
+    "legacy_aggregates",
+    "legacy_find_entry",
     "AuthorizationError",
     "ChainIntegrityError",
     "CohesionError",

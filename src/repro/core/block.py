@@ -46,6 +46,7 @@ class RedundancyRecord:
     last_block_number: int
     merkle_root: Optional[str] = None
     entries: tuple[Entry, ...] = ()
+    _canonical_cache: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         """Return a JSON-serialisable representation."""
@@ -56,6 +57,21 @@ class RedundancyRecord:
             "merkle_root": self.merkle_root,
             "entries": [entry.to_dict() for entry in self.entries],
         }
+
+    def __canonical_json__(self) -> str:
+        """Cached canonical JSON, composed from the entries' own memos."""
+        if self._canonical_cache is None:
+            from repro.crypto.hashing import canonical_json
+
+            payload = {
+                "sequence_index": self.sequence_index,
+                "first_block_number": self.first_block_number,
+                "last_block_number": self.last_block_number,
+                "merkle_root": self.merkle_root,
+                "entries": list(self.entries),
+            }
+            object.__setattr__(self, "_canonical_cache", canonical_json(payload))
+        return self._canonical_cache
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RedundancyRecord":
@@ -88,6 +104,12 @@ class Block:
     merged_sequences: list[int] = field(default_factory=list)
     summary_references: list[dict[str, Any]] = field(default_factory=list)
     _cached_hash: Optional[str] = field(default=None, init=False, repr=False, compare=False)
+    _cached_canonical: Optional[str] = field(default=None, init=False, repr=False, compare=False)
+    _cached_byte_size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    _entry_lookup: Optional[dict[int, Entry]] = field(default=None, init=False, repr=False, compare=False)
+    _copy_lookup: Optional[dict[tuple[int, int], Entry]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.block_number < 0:
@@ -135,18 +157,35 @@ class Block:
         }
 
     def content_dict(self) -> dict[str, Any]:
-        """Full hashable content of the block."""
+        """Full hashable content of the block, as plain JSON-ready dicts."""
+        payload = self._hashable_content()
+        payload["entries"] = [entry.to_dict() for entry in payload["entries"]]
+        payload["redundancy"] = [record.to_dict() for record in payload["redundancy"]]
+        return payload
+
+    def _hashable_content(self) -> dict[str, Any]:
+        """Same canonical form as :meth:`content_dict`, but carrying the
+        domain objects themselves so their ``__canonical_json__`` memos are
+        reused instead of re-serialising every entry.  :meth:`content_dict`
+        derives from this, so the content shape is defined exactly once."""
         return {
             "header": self.header_dict(),
-            "entries": [entry.to_dict() for entry in self.entries],
-            "redundancy": [record.to_dict() for record in self.redundancy],
+            "entries": list(self.entries),
+            "redundancy": list(self.redundancy),
             "merged_sequences": list(self.merged_sequences),
             "summary_references": list(self.summary_references),
         }
 
     def compute_hash(self) -> str:
-        """Recompute the block hash from scratch (ignores the cache)."""
-        return hash_hex(self.content_dict())
+        """Recompute the block hash, ignoring the block-level hash cache.
+
+        The per-entry canonical memos *are* reused: entries are frozen, so
+        their serialisation cannot legitimately change after construction
+        (mutating an entry's ``data`` dict in place violates that contract
+        and is not detected here).  For a fully from-scratch recomputation,
+        hash :meth:`content_dict` directly.
+        """
+        return hash_hex(self._hashable_content())
 
     @property
     def block_hash(self) -> str:
@@ -156,30 +195,59 @@ class Block:
         return self._cached_hash
 
     def set_nonce(self, nonce: int) -> None:
-        """Update the proof-of-work nonce and invalidate the cached hash."""
+        """Update the proof-of-work nonce and invalidate every derived cache.
+
+        Must be called *before* the block is appended to a chain: consensus
+        finalizers mine through this hook pre-append.  Mutating the nonce of
+        an already-appended block leaves the chain index's rolling byte
+        aggregates stale (``Blockchain.verify_index`` detects this).
+        """
         self.nonce = nonce
         self._cached_hash = None
+        self._cached_canonical = None
+        self._cached_byte_size = None
+
+    def __canonical_json__(self) -> str:
+        """Cached canonical JSON of :meth:`to_dict` (hash included).
+
+        Invalidated by :meth:`set_nonce`; otherwise sound because blocks are
+        immutable once appended.
+        """
+        if self._cached_canonical is None:
+            from repro.crypto.hashing import canonical_json
+
+            payload = self._hashable_content()
+            payload["block_hash"] = self.block_hash
+            self._cached_canonical = canonical_json(payload)
+        return self._cached_canonical
 
     # ------------------------------------------------------------------ #
     # Entry access
     # ------------------------------------------------------------------ #
 
     def entry(self, entry_number: int) -> Entry:
-        """Return the entry with 1-based ``entry_number``."""
-        for candidate in self.entries:
-            if candidate.entry_number == entry_number:
-                return candidate
-        raise KeyError(f"block {self.block_number} has no entry number {entry_number}")
+        """Return the entry with 1-based ``entry_number`` (O(1) lookup)."""
+        if self._entry_lookup is None:
+            lookup: dict[int, Entry] = {}
+            for candidate in self.entries:
+                if candidate.entry_number is not None:
+                    lookup.setdefault(candidate.entry_number, candidate)
+            self._entry_lookup = lookup
+        found = self._entry_lookup.get(entry_number)
+        if found is None:
+            raise KeyError(f"block {self.block_number} has no entry number {entry_number}")
+        return found
 
     def find_copy_of(self, origin_block_number: int, origin_entry_number: int) -> Optional[Entry]:
-        """Locate the carried-forward copy of an original entry, if present."""
-        for candidate in self.entries:
-            if (
-                candidate.origin_block_number == origin_block_number
-                and candidate.origin_entry_number == origin_entry_number
-            ):
-                return candidate
-        return None
+        """Locate the carried-forward copy of an original entry (O(1) lookup)."""
+        if self._copy_lookup is None:
+            lookup: dict[tuple[int, int], Entry] = {}
+            for candidate in self.entries:
+                if candidate.origin_block_number is not None:
+                    key = (candidate.origin_block_number, candidate.origin_entry_number)
+                    lookup.setdefault(key, candidate)
+            self._copy_lookup = lookup
+        return self._copy_lookup.get((origin_block_number, origin_entry_number))
 
     def data_entries(self) -> list[Entry]:
         """All entries that are plain data records (no deletion requests)."""
@@ -194,15 +262,16 @@ class Block:
     # ------------------------------------------------------------------ #
 
     def byte_size(self) -> int:
-        """Approximate serialised size of the block in bytes.
+        """Approximate serialised size of the block in bytes (memoised).
 
         Used by the storage-growth and summary-size benchmarks (Sections I
         and V-B2 motivate the concept with the unbounded growth of Bitcoin's
-        chain).
+        chain).  The memo is invalidated by :meth:`set_nonce`, the only
+        mutation performed after a block is built.
         """
-        from repro.crypto.hashing import canonical_json
-
-        return len(canonical_json(self.to_dict()).encode("utf-8"))
+        if self._cached_byte_size is None:
+            self._cached_byte_size = len(self.__canonical_json__().encode("utf-8"))
+        return self._cached_byte_size
 
     # ------------------------------------------------------------------ #
     # Serialisation and display

@@ -24,7 +24,7 @@ prescribes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
 from repro.core.block import Block, BlockType, make_genesis_block
@@ -34,18 +34,14 @@ from repro.core.deletion import (
     Authorizer,
     DeletionDecision,
     DeletionRegistry,
-    DeletionStatus,
     build_deletion_request,
     default_authorizer,
 )
 from repro.core.entry import Entry, EntryKind, EntryReference
-from repro.core.errors import ChainIntegrityError, DeletionError, SchemaError
+from repro.core.errors import ChainIntegrityError, DeletionError
+from repro.core.index import ChainIndex
 from repro.core.schema import EntrySchema
-from repro.core.sequence import (
-    SequenceView,
-    is_summary_slot,
-    partition_into_sequences,
-)
+from repro.core.sequence import SequenceView, is_summary_slot
 from repro.core.summarizer import Summarizer, SummaryResult
 from repro.core.retention import needs_empty_block
 from repro.crypto.keys import KeyPair
@@ -106,6 +102,7 @@ class Blockchain:
         self._total_blocks_created = 0
         self._deleted_block_count = 0
         self._deleted_entry_count = 0
+        self._index = ChainIndex(self.config.sequence_length)
 
         genesis = make_genesis_block(timestamp=self.clock.now())
         self._append(genesis)
@@ -166,20 +163,29 @@ class Blockchain:
         return list(self._pending)
 
     def entry_count(self) -> int:
-        """Total number of entries currently stored in living blocks."""
-        return sum(block.entry_count for block in self._blocks)
+        """Total number of entries currently stored in living blocks (O(1))."""
+        return self._index.entry_count
 
     def byte_size(self) -> int:
-        """Approximate serialised size of the living chain in bytes."""
-        return sum(block.byte_size() for block in self._blocks)
+        """Approximate serialised size of the living chain in bytes (O(1))."""
+        return self._index.byte_size
 
     def sequences(self) -> list[SequenceView]:
-        """Partition of the living chain into sequences ω."""
-        return partition_into_sequences(self._blocks, self.config.sequence_length)
+        """Partition of the living chain into sequences ω.
+
+        The partition is maintained incrementally by the chain index; this
+        accessor returns a defensive snapshot that stays stable across later
+        appends and marker shifts.
+        """
+        return self._index.sequence_views()
 
     def completed_sequence_count(self) -> int:
-        """Number of living sequences already closed by a summary block."""
-        return sum(1 for view in self.sequences() if view.is_complete)
+        """Number of living sequences already closed by a summary block (O(1))."""
+        return self._index.completed_view_count
+
+    def sequence_statistics(self) -> dict[int, dict[str, int]]:
+        """Rolling per-sequence entry/byte counters, keyed by sequence index."""
+        return self._index.sequence_aggregates()
 
     def block_by_number(self, block_number: int) -> Block:
         """Return the living block with ``block_number``.
@@ -419,6 +425,7 @@ class Blockchain:
                 raise ChainIntegrityError("previous hash does not match the current head")
         self._blocks.append(block)
         self._total_blocks_created += 1
+        self._index.on_append(block)
 
     def _create_due_summary_blocks(self) -> None:
         while is_summary_slot(self.next_block_number, self.config.sequence_length):
@@ -426,7 +433,7 @@ class Blockchain:
 
     def _create_summary_block(self) -> SummaryResult:
         result = self.summarizer.build_summary_block(
-            sequences=self.sequences(),
+            sequences=self._index.live_views(),
             previous_block=self.head,
             next_block_number=self.next_block_number,
             registry=self.registry,
@@ -448,6 +455,7 @@ class Blockchain:
         cut_off = [block for block in self._blocks if block.block_number < new_marker]
         self._blocks = [block for block in self._blocks if block.block_number >= new_marker]
         self._genesis_marker = new_marker
+        self._index.cut_before(new_marker, cut_off)
         self._deleted_block_count += len(cut_off)
         self._deleted_entry_count += len(result.dropped_entries)
         for dropped in result.dropped_entries:
@@ -473,26 +481,14 @@ class Blockchain:
     def find_entry(self, reference: EntryReference) -> Optional[tuple[Block, Entry]]:
         """Locate an entry by its original (block number, entry number).
 
-        Looks first at the original block if it is still living, then at
-        carried-forward copies inside summary blocks.  Returns ``None`` when
-        the entry does not exist (anymore).
+        The original position wins if it is still living; otherwise the
+        newest carried-forward copy inside a living summary block is
+        returned.  Returns ``None`` when the entry does not exist (anymore).
+        This is an O(1) lookup in the incrementally maintained chain index —
+        the complexity the paper claims in Section IV-D (*"blocks are
+        referenced directly by number"*).
         """
-        try:
-            block = self.block_by_number(reference.block_number)
-        except (KeyError, ChainIntegrityError):
-            block = None
-        if block is not None:
-            try:
-                return block, block.entry(reference.entry_number)
-            except KeyError:
-                pass
-        for candidate in reversed(self._blocks):
-            if not candidate.is_summary:
-                continue
-            copy = candidate.find_copy_of(reference.block_number, reference.entry_number)
-            if copy is not None:
-                return candidate, copy
-        return None
+        return self._index.find(reference)
 
     def entry_exists(self, reference: EntryReference) -> bool:
         """True when the referenced entry is still retrievable from the chain."""
@@ -529,18 +525,30 @@ class Blockchain:
         )
 
     def statistics(self) -> dict[str, Any]:
-        """Operational counters used by reports and benchmarks."""
+        """Operational counters used by reports and benchmarks.
+
+        Every chain-level figure comes from the rolling aggregates of the
+        chain index, so this is O(1) — no repartitioning, no re-serialising.
+        """
         return {
             "living_blocks": self.length,
-            "living_entries": self.entry_count(),
+            "living_entries": self._index.entry_count,
             "total_blocks_created": self._total_blocks_created,
             "deleted_blocks": self._deleted_block_count,
             "dropped_entries": self._deleted_entry_count,
             "genesis_marker": self._genesis_marker,
-            "byte_size": self.byte_size(),
-            "completed_sequences": self.completed_sequence_count(),
+            "byte_size": self._index.byte_size,
+            "completed_sequences": self._index.completed_view_count,
             "deletions": self.registry.statistics(),
         }
+
+    def verify_index(self) -> None:
+        """Validate the incremental index against the legacy linear scans.
+
+        O(total entries); used by the equivalence tests and snapshot loads.
+        Raises :class:`ChainIntegrityError` on any divergence.
+        """
+        self._index.self_check(self._blocks, self._genesis_marker)
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise the full chain state (blocks, marker, registry, config)."""
@@ -589,6 +597,7 @@ class Blockchain:
         chain._deleted_entry_count = int(payload.get("deleted_entry_count", 0))
         if not chain._blocks:
             raise ChainIntegrityError("serialised chain contains no blocks")
+        chain._index = ChainIndex.build(chain._blocks, config.sequence_length)
         # Restore the clock to continue after the last timestamp.
         if isinstance(chain.clock, LogicalClock) and clock is None:
             chain.clock = LogicalClock(start=chain._blocks[-1].timestamp + 1)
@@ -600,5 +609,5 @@ class Blockchain:
     def __repr__(self) -> str:
         return (
             f"Blockchain(length={self.length}, marker={self._genesis_marker}, "
-            f"head={self.head.block_number}, sequences={len(self.sequences())})"
+            f"head={self.head.block_number}, sequences={self._index.view_count})"
         )

@@ -101,6 +101,11 @@ class Entry:
     origin_block_number: Optional[int] = None
     origin_timestamp: Optional[int] = None
     origin_entry_number: Optional[int] = None
+    #: Memoised canonical JSON of :meth:`to_dict`.  Entries are frozen, so
+    #: the serialisation never changes; ``dataclasses.replace`` (used by
+    #: :meth:`as_copy` / :meth:`with_entry_number`) re-initialises the field,
+    #: dropping the memo for the derived entry.
+    _canonical_cache: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.author:
@@ -212,6 +217,21 @@ class Entry:
             "expires_at_time": self.expires_at_time,
             "expires_at_block": self.expires_at_block,
         }
+
+    def __canonical_json__(self) -> str:
+        """Cached canonical JSON of :meth:`to_dict`.
+
+        Merkle roots and block hashes serialise every entry they cover; with
+        hundreds of carried copies per summary block this memo turns the
+        repeated serialisation work into a single dict lookup.  The cache is
+        sound because entries are frozen (Section IV-B determinism relies on
+        their payload never changing after signing).
+        """
+        if self._canonical_cache is None:
+            from repro.crypto.hashing import canonical_json
+
+            object.__setattr__(self, "_canonical_cache", canonical_json(self.to_dict()))
+        return self._canonical_cache
 
     def to_dict(self) -> dict[str, Any]:
         """Return a JSON-serialisable representation."""

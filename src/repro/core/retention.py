@@ -92,6 +92,11 @@ def select_sequences_to_expire(
         return []
 
     policy = config.retention
+    if policy.max_length is None:
+        # No retention limit: Eq. 1 can never trigger.  Returning early keeps
+        # summary creation O(1) on unbounded chains instead of measuring the
+        # whole partition just to conclude nothing expires.
+        return []
     candidates = [view for view in sequences[:-1] if view.is_complete]
     if not candidates:
         return []

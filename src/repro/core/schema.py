@@ -18,7 +18,7 @@ user ``K`` and the signature ``S``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.errors import SchemaError

@@ -102,8 +102,12 @@ class SequenceView:
         return sum(block.byte_size() for block in self.blocks)
 
     def merkle_root(self) -> str:
-        """Merkle root over the sequence's block contents (Fig. 9 redundancy)."""
-        return merkle_root([block.to_dict() for block in self.blocks])
+        """Merkle root over the sequence's block contents (Fig. 9 redundancy).
+
+        The blocks are hashed through their cached canonical serialisation,
+        which is byte-identical to hashing ``block.to_dict()`` directly.
+        """
+        return merkle_root(list(self.blocks))
 
     def __repr__(self) -> str:
         return (

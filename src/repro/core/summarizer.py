@@ -170,29 +170,47 @@ class Summarizer:
             current_time=current_time,
             current_block=next_block_number,
         )
-        remaining = [view for view in sequences if not any(view is gone for gone in expiring)]
 
         entries: list[Entry] = []
         summary_references: list[dict] = []
         if self.config.summary_mode is SummaryMode.FULL_COPY:
             entries = carried
         else:
-            for view in expiring:
-                retained_in_view = [
-                    entry
-                    for entry in carried
-                    if entry.origin_block_number is not None
-                    and view.first_block_number <= entry.origin_block_number <= view.last_block_number
-                ]
+            # Group the carried entries by the expiring sequence whose block
+            # range their origin falls into — one pass over ``carried``
+            # instead of rescanning it per expiring view.  Entries whose
+            # origin lies outside every expiring range (re-carried copies of
+            # long-gone sequences) stay unreferenced, as before.
+            view_of_origin: dict[int, int] = {}
+            retained_by_view: list[list[Entry]] = []
+            for position, view in enumerate(expiring):
+                retained_by_view.append([])
+                for number in range(view.first_block_number, view.last_block_number + 1):
+                    view_of_origin[number] = position
+            for entry in carried:
+                if entry.origin_block_number is None:
+                    continue
+                position = view_of_origin.get(entry.origin_block_number)
+                if position is not None:
+                    retained_by_view[position].append(entry)
+            for view, retained_in_view in zip(expiring, retained_by_view):
                 summary_references.append(
                     {
                         "sequence_index": view.index,
                         "first_block_number": view.first_block_number,
                         "last_block_number": view.last_block_number,
                         "entry_count": len(retained_in_view),
-                        "merkle_root": merkle_root([entry.to_dict() for entry in retained_in_view]),
+                        # The entries hash through their cached canonical
+                        # serialisation — identical root, no re-serialising.
+                        "merkle_root": merkle_root(retained_in_view),
                     }
                 )
+
+        if self.config.redundancy is RedundancyPolicy.NONE:
+            redundancy: list[RedundancyRecord] = []
+        else:
+            remaining = [view for view in sequences if not any(view is gone for gone in expiring)]
+            redundancy = self.build_redundancy(remaining, expiring)
 
         block = Block(
             block_number=next_block_number,
@@ -200,7 +218,7 @@ class Summarizer:
             previous_hash=previous_block.block_hash,
             entries=entries,
             block_type=BlockType.SUMMARY,
-            redundancy=self.build_redundancy(remaining, expiring),
+            redundancy=redundancy,
             merged_sequences=[view.index for view in expiring],
             summary_references=summary_references,
         )

@@ -39,8 +39,60 @@ def canonical_json(value: Any) -> str:
     Python objects always produce byte-identical serialisations.  This is the
     property that lets every anchor node compute the same summary-block hash
     without exchanging the block (Section IV-B).
+
+    The serialiser lets immutable domain objects (entries, blocks,
+    redundancy records) memoise their own canonical form via a
+    ``__canonical_json__`` method: re-hashing a summary block then reuses the
+    cached per-entry strings instead of re-serialising every entry from
+    scratch.  Plain structures (no memoised objects anywhere) take the fast C
+    encoder; only structures that actually contain a memoised object fall
+    back to the recursive Python composer.  Either way the output is
+    byte-identical to ``json.dumps(value, sort_keys=True, separators=(",",
+    ":"))`` on the fully expanded structure.
     """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_encode_fallback)
+    hook = getattr(value, "__canonical_json__", None)
+    if hook is not None:
+        return hook()
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_dumps_default)
+    except _NeedsComposition:
+        return _canonical(value)
+
+
+class _NeedsComposition(Exception):
+    """Raised mid-C-encoding when a memoised domain object is encountered."""
+
+
+def _dumps_default(value: Any) -> Any:
+    if getattr(value, "__canonical_json__", None) is not None:
+        raise _NeedsComposition
+    return _encode_fallback(value)
+
+
+def _canonical(value: Any) -> str:
+    if value is None or value is True or value is False or isinstance(value, (str, int, float)):
+        # Scalars (including str/int subclasses such as str-Enums) delegate to
+        # json.dumps so escaping and number formatting match exactly.
+        return json.dumps(value)
+    hook = getattr(value, "__canonical_json__", None)
+    if hook is not None:
+        return hook()
+    if isinstance(value, dict):
+        if all(type(key) is str for key in value):
+            return (
+                "{"
+                + ",".join(
+                    json.dumps(key) + ":" + _canonical(item)
+                    for key, item in sorted(value.items(), key=lambda pair: pair[0])
+                )
+                + "}"
+            )
+        # Non-string keys: defer to json.dumps, whose key coercion rules are
+        # subtle; correctness beats caching for this rare case.
+        return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_encode_fallback)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(item) for item in value) + "]"
+    return _canonical(_encode_fallback(value))
 
 
 def _encode_fallback(value: Any) -> Any:

@@ -90,6 +90,12 @@ class MerkleTree:
         self._rebuild()
 
     def _rebuild(self) -> None:
+        # Every rebuild rehashes every leaf: ``leaves`` is a public list, so
+        # callers may replace elements in place between rebuilds and a cache
+        # keyed on position would silently commit to stale content.  Leaf
+        # hashing is nevertheless cheap for domain objects (entries, blocks):
+        # hash_hex composes their memoised canonical serialisation instead of
+        # re-serialising them (see repro.crypto.hashing.canonical_json).
         leaf_hashes = [hash_hex(leaf) for leaf in self.leaves]
         levels: list[list[str]] = [leaf_hashes]
         current = leaf_hashes

@@ -27,7 +27,13 @@ def save_snapshot(chain: Blockchain, path: Union[str, Path]) -> int:
 
 
 def load_snapshot(path: Union[str, Path], **chain_kwargs) -> Blockchain:
-    """Restore a chain from a snapshot produced by :func:`save_snapshot`."""
+    """Restore a chain from a snapshot produced by :func:`save_snapshot`.
+
+    Besides the hash-chain validation this also verifies the chain index
+    rebuilt by ``Blockchain.from_dict`` against the legacy linear scans, so a
+    freshly joining anchor node never starts serving lookups from a corrupt
+    cache.
+    """
     source = Path(path)
     if not source.exists():
         raise StorageError(f"snapshot {source} does not exist")
@@ -37,6 +43,7 @@ def load_snapshot(path: Union[str, Path], **chain_kwargs) -> Blockchain:
         raise StorageError(f"snapshot {source} is not valid JSON: {exc}") from exc
     chain = Blockchain.from_dict(payload, **chain_kwargs)
     chain.validate()
+    chain.verify_index()
     return chain
 
 
