@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Durable ledger: the chain on the append-only journal backend.
+
+The chain façade runs on a pluggable block store.  This example uses the
+write-ahead-log backend so every sealed block is fsynced to disk, subscribes
+to the typed event bus to watch marker shifts reclaim space, restarts the
+ledger from the journal alone (no snapshot), and finally compacts the
+journal — the physical data reduction the paper's claim C1 promises.
+
+Run with::
+
+    python examples/durable_ledger.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Blockchain, ChainConfig, EventType, LocalLedgerClient
+from repro.storage import JournalBlockStore
+from repro.workloads import LoginAuditWorkload, replay
+
+
+def main() -> None:
+    journal_path = Path(tempfile.mkdtemp(prefix="repro-durable-")) / "chain.journal"
+
+    # --- First life: run a workload on the journal-backed chain -----------
+    chain = Blockchain(ChainConfig.paper_evaluation(), store=JournalBlockStore(journal_path))
+
+    shifts: list[str] = []
+    chain.bus.subscribe(
+        lambda event: shifts.append(event.detail), types=(EventType.MARKER_SHIFT,)
+    )
+
+    replay(
+        LoginAuditWorkload(num_events=60, num_users=4, deletion_rate=0.15, seed=3),
+        LocalLedgerClient(chain),
+    )
+
+    print("Durable selective-deletion ledger (write-ahead journal)")
+    print("-------------------------------------------------------")
+    print(f"journal file:       {journal_path}")
+    print(f"living blocks:      {chain.length} (marker at {chain.genesis_marker})")
+    print(f"marker shifts seen: {len(shifts)} (via event-bus subscription)")
+    print(f"last shift:         {shifts[-1] if shifts else '-'}")
+
+    before_stats = chain.statistics()
+    store = chain.store
+    print(f"journal size:       {store.file_size()} bytes (truncations still logged)")
+
+    # --- Compaction: physically reclaim the space the marker freed --------
+    saved = store.compact()
+    print(f"compaction saved:   {saved} bytes -> {store.file_size()} bytes on disk")
+
+    # --- Second life: restart from the journal alone ----------------------
+    restarted = Blockchain(
+        ChainConfig.paper_evaluation(), store=JournalBlockStore(journal_path)
+    )
+    after_stats = restarted.statistics()
+    same_chain = (
+        after_stats["living_blocks"] == before_stats["living_blocks"]
+        and after_stats["byte_size"] == before_stats["byte_size"]
+        and restarted.head.block_hash == chain.head.block_hash
+    )
+    print(f"restart from journal: head block {restarted.head.block_number}, "
+          f"identical chain state: {same_chain}")
+    assert same_chain
+
+    # The restarted ledger keeps working: seal one more block and check it
+    # also reached the journal.
+    ledger = LocalLedgerClient(restarted)
+    receipt = ledger.submit({"D": "post-restart login", "K": "ALPHA", "S": "sig_ALPHA"}, "ALPHA")
+    assert restarted.store.get(receipt.block_number).block_number == receipt.block_number
+    print(f"post-restart block {receipt.block_number} journaled; ledger is live.")
+
+
+if __name__ == "__main__":
+    main()

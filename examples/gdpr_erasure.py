@@ -12,7 +12,7 @@ Run with::
     python examples/gdpr_erasure.py
 """
 
-from repro import Blockchain, ChainConfig, EntryReference
+from repro import Blockchain, ChainConfig, EntryReference, LocalLedgerClient
 from repro.analysis import render_comparison_table, run_comparison
 from repro.workloads import GdprErasureWorkload
 
@@ -20,13 +20,14 @@ from repro.workloads import GdprErasureWorkload
 def main() -> None:
     workload = GdprErasureWorkload(num_records=80, erasure_probability=0.4, seed=99)
     chain = Blockchain(ChainConfig.paper_evaluation())
+    ledger = LocalLedgerClient(chain)
 
     references: dict[int, EntryReference] = {}
     erased: list[int] = []
     schedule = workload.erasure_schedule()
 
     for position, case in enumerate(workload.cases()):
-        block = chain.add_entry_block(
+        receipt = ledger.submit(
             {
                 "D": f"personal data of {case.subject} (record {case.record_index})",
                 "K": case.subject,
@@ -34,19 +35,18 @@ def main() -> None:
             },
             case.subject,
         )
-        references[case.record_index] = EntryReference(block.block_number, 1)
+        references[case.record_index] = receipt.reference
         for due_index in schedule.get(position, []):
             if due_index in references:
                 subject = workload.cases()[due_index].subject
-                chain.request_deletion(references[due_index], subject)
-                chain.seal_block()
+                ledger.request_deletion(references[due_index], subject)
                 erased.append(due_index)
 
     # A few more cycles so delayed deletions actually execute.
     for _ in range(15):
-        chain.add_entry_block({"D": "retention tick", "K": "system", "S": "sig_system"}, "system")
+        ledger.submit({"D": "retention tick", "K": "system", "S": "sig_system"}, "system")
 
-    gone = sum(1 for index in erased if chain.find_entry(references[index]) is None)
+    gone = sum(1 for index in erased if ledger.find_entry(references[index]) is None)
     print("GDPR right-to-erasure on the selective-deletion chain")
     print("------------------------------------------------------")
     print(f"personal-data records written:  {len(references)}")

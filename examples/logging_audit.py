@@ -50,7 +50,7 @@ def main() -> None:
     print()
     print(render_statistics(chain))
     print()
-    print(render_events(chain, kinds=["marker-shift", "deletion-approved"]))
+    print(render_events(chain, kinds=["marker-shift", "deletion-requested"]))
     report = simulator.finalize()
     print(
         f"\nnetwork: {report.transport['delivered']} messages delivered, "

@@ -11,27 +11,32 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Blockchain, ChainConfig, EntryReference, default_log_schema
+from repro import Blockchain, ChainConfig, LocalLedgerClient, default_log_schema
 from repro.analysis import render_chain, render_statistics
 
 
 def main() -> None:
     chain = Blockchain(ChainConfig.paper_evaluation(), schema=default_log_schema())
+    ledger = LocalLedgerClient(chain)
 
-    # 1. Write entries — every login event becomes one block, as in the paper.
-    for user in ("ALPHA", "BRAVO", "CHARLIE"):
-        chain.add_entry_block({"D": f"Login {user}", "K": user, "S": f"sig_{user}"}, user)
+    # 1. Write entries through the ledger-client protocol — every login event
+    #    becomes one block, as in the paper; the receipt carries the exact
+    #    reference the record can later be addressed by.
+    receipts = {
+        user: ledger.submit({"D": f"Login {user}", "K": user, "S": f"sig_{user}"}, user)
+        for user in ("ALPHA", "BRAVO", "CHARLIE")
+    }
 
     print(render_chain(chain, header="after three logins (Fig. 6)"))
 
-    # 2. BRAVO exercises the right to erasure for its own entry in block 3.
-    decision = chain.request_deletion(EntryReference(3, 1), "BRAVO")
-    chain.seal_block()
-    print(f"\ndeletion request by BRAVO: {decision.status.value} ({decision.reason})")
+    # 2. BRAVO exercises the right to erasure for its own entry.
+    deletion = ledger.request_deletion(receipts["BRAVO"].reference, "BRAVO")
+    verdict = "approved" if deletion.approved else "rejected"
+    print(f"\ndeletion request by BRAVO: {verdict} ({deletion.reason})")
 
     # 3. Keep the chain running; the next summarisation cycle merges the old
     #    sequences, skips the deleted entry and shifts the genesis marker.
-    chain.add_entry_block({"D": "Login ALPHA", "K": "ALPHA", "S": "sig_ALPHA"}, "ALPHA")
+    ledger.submit({"D": "Login ALPHA", "K": "ALPHA", "S": "sig_ALPHA"}, "ALPHA")
 
     print()
     print(render_chain(chain, header="after the summarisation cycle (Fig. 7)"))
@@ -39,8 +44,8 @@ def main() -> None:
     print(render_statistics(chain))
 
     # 4. The deleted entry is gone, everything else survived, chain is valid.
-    assert chain.find_entry(EntryReference(3, 1)) is None
-    assert chain.find_entry(EntryReference(1, 1)) is not None
+    assert ledger.find_entry(receipts["BRAVO"].reference) is None
+    assert ledger.find_entry(receipts["ALPHA"].reference) is not None
     chain.validate(verify_signatures=True)
     print("\nchain is valid; BRAVO's entry has been forgotten.")
 

@@ -11,7 +11,7 @@ Run with::
     python examples/supply_chain_plm.py
 """
 
-from repro import Blockchain, ChainConfig, LengthUnit, RetentionPolicy, ShrinkStrategy
+from repro import Blockchain, ChainConfig, LengthUnit, LocalLedgerClient, RetentionPolicy, ShrinkStrategy
 from repro.analysis import render_statistics
 from repro.workloads import SupplyChainWorkload, replay
 
@@ -31,7 +31,7 @@ def main() -> None:
         stations=6,
         seed=7,
     )
-    result = replay(workload, chain)
+    result = replay(workload, LocalLedgerClient(chain))
 
     print("Industry-4.0 product tracking with automatic clean-up")
     print("----------------------------------------------------")

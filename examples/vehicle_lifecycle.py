@@ -14,7 +14,15 @@ Run with::
 
 from collections import defaultdict
 
-from repro import Blockchain, ChainConfig, EntryReference, LengthUnit, RetentionPolicy, ShrinkStrategy
+from repro import (
+    Blockchain,
+    ChainConfig,
+    EntryReference,
+    LengthUnit,
+    LocalLedgerClient,
+    RetentionPolicy,
+    ShrinkStrategy,
+)
 from repro.analysis import render_statistics
 from repro.authz import AccessController, Role
 from repro.workloads import EventKind, VehicleLifecycleWorkload
@@ -35,26 +43,26 @@ def main() -> None:
         num_vehicles=12, events_per_vehicle=6, decommission_fraction=0.5, seed=11
     )
 
+    ledger = LocalLedgerClient(chain)
     positions: dict[str, list[EntryReference]] = defaultdict(list)
     decommissioned: list[str] = []
 
     for event in workload:
         assert event.kind is EventKind.ENTRY
-        block = chain.add_entry_block(event.data, event.author)
+        receipt = ledger.submit(event.data, event.author)
         vin = event.data.get("vin", "")
         if event.data.get("maintenance") == "decommissioned":
             decommissioned.append(vin)
             # The authority asks the chain to forget the whole vehicle history.
             for reference in positions[vin]:
-                if chain.find_entry(reference) is not None:
-                    chain.request_deletion(reference, "REGISTRATION-AUTHORITY")
-            chain.seal_block()
+                if ledger.find_entry(reference) is not None:
+                    ledger.request_deletion(reference, "REGISTRATION-AUTHORITY")
         else:
-            positions[vin].append(EntryReference(block.block_number, 1))
+            positions[vin].append(receipt.reference)
 
     # Let the retention machinery run a few more cycles so marked records expire.
     for _ in range(20):
-        chain.add_entry_block(
+        ledger.submit(
             {"D": "periodic audit heartbeat", "K": "AUDITOR", "S": "sig_AUDITOR"}, "AUDITOR"
         )
 

@@ -50,6 +50,8 @@ from repro.core import (
     EntryKind,
     EntryReference,
     EntrySchema,
+    EventBus,
+    EventType,
     LengthUnit,
     LogicalClock,
     RedundancyPolicy,
@@ -61,6 +63,15 @@ from repro.core import (
     default_log_schema,
 )
 from repro.crypto import KeyPair, MerkleTree, merkle_root
+from repro.service import (
+    BaselineLedgerClient,
+    DeletionReceipt,
+    LedgerClient,
+    LedgerRecord,
+    LocalLedgerClient,
+    RemoteLedgerClient,
+    SubmitReceipt,
+)
 
 __version__ = "1.0.0"
 
@@ -76,6 +87,8 @@ __all__ = [
     "EntryKind",
     "EntryReference",
     "EntrySchema",
+    "EventBus",
+    "EventType",
     "LengthUnit",
     "LogicalClock",
     "RedundancyPolicy",
@@ -88,5 +101,12 @@ __all__ = [
     "KeyPair",
     "MerkleTree",
     "merkle_root",
+    "BaselineLedgerClient",
+    "DeletionReceipt",
+    "LedgerClient",
+    "LedgerRecord",
+    "LocalLedgerClient",
+    "RemoteLedgerClient",
+    "SubmitReceipt",
     "__version__",
 ]

@@ -12,6 +12,7 @@ from repro.analysis.compare import ComparisonRow, default_systems, run_compariso
 from repro.analysis.recovery import RecoveryReport, analyze_lost_coins, recoverable_after_deletion
 from repro.analysis.metrics import (
     DeletionLatency,
+    DeletionLatencyTracker,
     GrowthPoint,
     SummarySizeSample,
     deletion_effectiveness,
@@ -44,6 +45,7 @@ __all__ = [
     "analyze_lost_coins",
     "recoverable_after_deletion",
     "DeletionLatency",
+    "DeletionLatencyTracker",
     "GrowthPoint",
     "SummarySizeSample",
     "deletion_effectiveness",

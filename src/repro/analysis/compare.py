@@ -3,6 +3,10 @@
 Runs the same GDPR-style workload — write records, later erase a fraction of
 them — against the selective-deletion chain and every Section III baseline,
 then collects storage, retrievability and effort into one comparison table.
+
+Every system is driven through the :class:`~repro.service.client.LedgerClient`
+protocol (via the baseline adapter), so the harness exercises exactly the
+code path applications use — one driver, many backends.
 """
 
 from __future__ import annotations
@@ -10,13 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.baselines.base import BaselineSystem, RecordRef
+from repro.baselines.base import BaselineSystem
 from repro.baselines.chameleon_chain import RedactableChain
 from repro.baselines.full_chain import ImmutableChain
 from repro.baselines.hard_fork import HardForkChain
 from repro.baselines.offchain import OffChainStore
 from repro.baselines.pruning import LocalPruningNode
 from repro.baselines.selective import SelectiveDeletionSystem
+from repro.service.baseline import BaselineLedgerClient
 from repro.workloads.gdpr import GdprErasureWorkload
 
 
@@ -77,32 +82,34 @@ def run_comparison(
     cases = workload.cases()
     rows: list[ComparisonRow] = []
     for system in systems if systems is not None else default_systems():
-        references: list[RecordRef] = []
+        client = BaselineLedgerClient(system)
+        references = []
         erasures = 0
         effective = 0
         effort = 0.0
         for case in cases:
-            references.append(
-                system.append_record(
-                    {
-                        "D": f"personal data of {case.subject} (record {case.record_index})",
-                        "K": case.subject,
-                        "S": f"sig_{case.subject}",
-                    },
-                    case.subject,
-                )
+            receipt = client.submit(
+                {
+                    "D": f"personal data of {case.subject} (record {case.record_index})",
+                    "K": case.subject,
+                    "S": f"sig_{case.subject}",
+                },
+                case.subject,
             )
+            references.append(receipt.reference)
         for case in cases:
             if case.erase_after is None:
                 continue
-            outcome = system.request_erasure(references[case.record_index], case.subject)
+            receipt = client.request_deletion(references[case.record_index], case.subject)
             erasures += 1
-            effort += outcome.effort_units
-            if outcome.globally_effective:
+            effort += receipt.effort_units
+            if receipt.globally_effective:
                 effective += 1
         if isinstance(system, SelectiveDeletionSystem):
             system.drain_retention()
-        readable = sum(1 for reference in references if system.record_retrievable(reference))
+        readable = sum(
+            1 for reference in references if client.find_entry(reference) is not None
+        )
         rows.append(
             ComparisonRow(
                 system=system.name,

@@ -8,9 +8,10 @@ latency in blocks (claim C2) and summary-block size (claim C3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.chain import Blockchain
+from repro.core.events import ChainEvent, EventType, Subscription
 
 
 @dataclass(frozen=True)
@@ -60,36 +61,69 @@ class DeletionLatency:
     blocks_waited: int
 
 
-def measure_deletion_latency(chain: Blockchain) -> list[DeletionLatency]:
-    """Extract per-deletion latencies from the chain's event log.
+class DeletionLatencyTracker:
+    """Event-bus subscriber that accumulates deletion latencies live.
 
-    Approximates the execution point by the marker-shift event that removed
-    the target's sequence; the delay is what Section IV-D3 calls *delayed
-    deletion* and what the empty-block mechanism bounds.
+    Instead of polling chain state after the fact, the tracker subscribes to
+    the typed ``deletion-requested`` / ``deletion-executed`` events and pairs
+    them by target reference — the exact delay Section IV-D3 calls *delayed
+    deletion* and the empty-block mechanism bounds.  Attach it to a running
+    chain with :meth:`attach`, or feed a recorded trail through
+    :meth:`consume` (which is how :func:`measure_deletion_latency` works).
     """
-    requests: dict[str, int] = {}
-    latencies: list[DeletionLatency] = []
-    marker_shifts: list[tuple[int, int]] = []
-    for event in chain.events:
-        if event.kind in ("deletion-approved",):
-            requests[event.detail] = event.block_number
-        elif event.kind == "marker-shift":
-            marker_shifts.append((event.block_number, chain.genesis_marker))
-    for detail, requested_at in requests.items():
-        executed_at: Optional[int] = None
-        for shift_block, _ in marker_shifts:
-            if shift_block >= requested_at:
-                executed_at = shift_block
-                break
-        if executed_at is not None:
-            latencies.append(
-                DeletionLatency(
-                    requested_at_block=requested_at,
-                    executed_at_block=executed_at,
-                    blocks_waited=executed_at - requested_at,
+
+    def __init__(self) -> None:
+        self._requested: dict[tuple[int, int], int] = {}
+        self.latencies: list[DeletionLatency] = []
+
+    def attach(self, chain: Blockchain) -> Subscription:
+        """Subscribe to a chain's bus; returns the subscription handle."""
+        return chain.bus.subscribe(
+            self,
+            types=(EventType.DELETION_REQUESTED, EventType.DELETION_EXECUTED),
+        )
+
+    def consume(self, events: Iterable[ChainEvent]) -> "DeletionLatencyTracker":
+        """Feed a recorded audit trail through the tracker."""
+        for event in events:
+            self(event)
+        return self
+
+    def __call__(self, event: ChainEvent) -> None:
+        reference = event.payload.get("reference") or {}
+        key = (reference.get("block_number"), reference.get("entry_number"))
+        if None in key:
+            return
+        if event.kind == EventType.DELETION_REQUESTED.value:
+            if event.payload.get("approved"):
+                # The first approved request for a target sets the clock.
+                self._requested.setdefault(key, event.block_number)
+        elif event.kind == EventType.DELETION_EXECUTED.value:
+            requested_at = self._requested.pop(key, None)
+            if requested_at is not None:
+                self.latencies.append(
+                    DeletionLatency(
+                        requested_at_block=requested_at,
+                        executed_at_block=event.block_number,
+                        blocks_waited=event.block_number - requested_at,
+                    )
                 )
-            )
-    return latencies
+
+    @property
+    def pending_count(self) -> int:
+        """Approved deletions whose execution has not been observed yet."""
+        return len(self._requested)
+
+
+def measure_deletion_latency(chain: Blockchain) -> list[DeletionLatency]:
+    """Extract per-deletion latencies from the chain's recorded audit trail.
+
+    Pairs every approved ``deletion-requested`` event with the
+    ``deletion-executed`` event of the same target reference.  For live
+    measurement subscribe a :class:`DeletionLatencyTracker` instead — it uses
+    the same pairing logic through the event bus.
+    """
+    return DeletionLatencyTracker().consume(chain.events).latencies
 
 
 @dataclass(frozen=True)

@@ -4,15 +4,24 @@
 paper's evaluation scenario and the main analyses without writing any code:
 
 * ``scenario`` — replay the Figs. 6-8 logging scenario and print the console
-  dumps,
+  dumps; ``--via remote`` drives a replicated anchor deployment and
+  ``--store wal`` runs the chain on the durable journal backend,
 * ``growth``   — compare chain growth with and without selective deletion,
 * ``attack``   — print the 51 %-attack resistance table (Fig. 9),
-* ``compare``  — run the baseline comparison (Section III alternatives).
+* ``compare``  — run the baseline comparison (Section III alternatives),
+* ``parity``   — replay one workload through the local, durable and
+  networked ledger clients and check the statistics are identical.
+
+Every replay goes through the :class:`~repro.service.client.LedgerClient`
+protocol, so the commands exercise the same layered service API applications
+use.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.attack import attack_resistance_table
@@ -27,31 +36,93 @@ from repro.analysis.report import (
 from repro.core.chain import Blockchain
 from repro.core.config import ChainConfig
 from repro.core.schema import default_log_schema
+from repro.network.simulator import NetworkSimulator
+from repro.service.client import LedgerClient, LocalLedgerClient
+from repro.storage.wal import JournalBlockStore
 from repro.workloads.base import replay
 from repro.workloads.logging import LoginAuditWorkload, PaperScenarioWorkload
 
 
+def _build_chain(args: argparse.Namespace, config: ChainConfig, **chain_kwargs) -> Blockchain:
+    """Chain on the requested storage backend (``--store``)."""
+    if getattr(args, "store", "memory") == "wal":
+        journal = Path(args.store_path or tempfile.mkdtemp(prefix="repro-wal-")) / "chain.journal"
+        print(f"[storage] journal backend at {journal}")
+        return Blockchain(config, store=JournalBlockStore(journal), **chain_kwargs)
+    return Blockchain(config, **chain_kwargs)
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
-    chain = Blockchain(ChainConfig.paper_evaluation(), schema=default_log_schema())
-    replay(PaperScenarioWorkload(extra_cycles=args.cycles), chain)
-    print(render_chain(chain, header="selective deletion — paper scenario"))
+    config = ChainConfig.paper_evaluation()
+    workload = PaperScenarioWorkload(extra_cycles=args.cycles)
+    if args.via == "remote":
+        simulator = NetworkSimulator(
+            anchor_count=3, config=config, schema=default_log_schema()
+        )
+        replay(workload, simulator.ledger_client())
+        chain = simulator.producer.chain
+        header = "selective deletion — paper scenario (3 anchor nodes)"
+    else:
+        chain = _build_chain(args, config, schema=default_log_schema())
+        replay(workload, LocalLedgerClient(chain))
+        header = "selective deletion — paper scenario"
+    print(render_chain(chain, header=header))
     print(render_statistics(chain))
     print(render_sequences(chain))
+    if args.via == "remote":
+        print(f"replicas in sync: {simulator.sync_check().in_sync}")
     return 0
 
 
 def _run_growth(args: argparse.Namespace) -> int:
-    bounded = Blockchain(ChainConfig.paper_evaluation())
+    bounded = _build_chain(args, ChainConfig.paper_evaluation())
     unbounded = Blockchain(ChainConfig(sequence_length=3))
-    workload = LoginAuditWorkload(num_events=args.events, num_users=5, seed=1)
-    replay(workload, bounded)
-    replay(LoginAuditWorkload(num_events=args.events, num_users=5, seed=1), unbounded)
+    replay(
+        LoginAuditWorkload(num_events=args.events, num_users=5, seed=1),
+        LocalLedgerClient(bounded),
+    )
+    replay(
+        LoginAuditWorkload(num_events=args.events, num_users=5, seed=1),
+        LocalLedgerClient(unbounded),
+    )
     factor = final_reduction_factor(bounded.byte_size(), unbounded.byte_size())
     print(f"events replayed:          {args.events}")
     print(f"bounded chain blocks:     {bounded.length} ({bounded.byte_size()} bytes)")
     print(f"unbounded chain blocks:   {unbounded.length} ({unbounded.byte_size()} bytes)")
     print(f"storage reduction factor: {factor:.2f}x")
     return 0
+
+
+def _run_parity(args: argparse.Namespace) -> int:
+    """Replay one workload through every backend; compare the statistics."""
+    config = ChainConfig.paper_evaluation()
+
+    def workload() -> LoginAuditWorkload:
+        return LoginAuditWorkload(
+            num_events=args.events,
+            num_users=4,
+            deletion_rate=0.2,
+            idle_rate=0.1,
+            seed=args.seed,
+        )
+
+    journal = Path(tempfile.mkdtemp(prefix="repro-parity-")) / "chain.journal"
+    simulator = NetworkSimulator(anchor_count=3, config=config)
+    clients: dict[str, LedgerClient] = {
+        "local/memory": LocalLedgerClient(Blockchain(config)),
+        "local/wal": LocalLedgerClient(Blockchain(config, store=JournalBlockStore(journal))),
+        "remote/3-anchors": simulator.ledger_client(),
+    }
+    statistics = {}
+    for label, client in clients.items():
+        replay(workload(), client)
+        statistics[label] = client.statistics()
+        print(f"{label:17s} -> {statistics[label]}")
+    values = list(statistics.values())
+    identical = all(value == values[0] for value in values)
+    print(f"\nstatistics identical across backends: {identical}")
+    print(f"replicas in sync: {simulator.sync_check().in_sync}")
+    return 0 if identical else 1
 
 
 def _run_attack(args: argparse.Namespace) -> int:
@@ -121,11 +192,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenario = subparsers.add_parser("scenario", help="replay the Figs. 6-8 logging scenario")
     scenario.add_argument("--cycles", type=int, default=2, help="extra summarisation cycles")
+    scenario.add_argument(
+        "--via",
+        choices=["local", "remote"],
+        default="local",
+        help="drive the chain in-process or through a 3-anchor deployment",
+    )
+    scenario.add_argument(
+        "--store",
+        choices=["memory", "wal"],
+        default="memory",
+        help="storage backend for the local chain",
+    )
+    scenario.add_argument("--store-path", default=None, help="directory for the wal journal")
     scenario.set_defaults(func=_run_scenario)
 
     growth = subparsers.add_parser("growth", help="bounded vs unbounded chain growth")
     growth.add_argument("--events", type=int, default=300, help="number of login events")
+    growth.add_argument(
+        "--store",
+        choices=["memory", "wal"],
+        default="memory",
+        help="storage backend for the bounded chain",
+    )
+    growth.add_argument("--store-path", default=None, help="directory for the wal journal")
     growth.set_defaults(func=_run_growth)
+
+    parity = subparsers.add_parser(
+        "parity", help="same workload through local, durable and networked clients"
+    )
+    parity.add_argument("--events", type=int, default=120, help="workload events")
+    parity.add_argument("--seed", type=int, default=5, help="workload seed")
+    parity.set_defaults(func=_run_parity)
 
     attack = subparsers.add_parser("attack", help="51% attack resistance table")
     attack.add_argument("--trials", type=int, default=500, help="Monte-Carlo trials per cell")

@@ -26,6 +26,7 @@ from repro.core.deletion import (
     default_authorizer,
 )
 from repro.core.entry import Entry, EntryKind, EntryReference
+from repro.core.events import AUDIT_EVENT_TYPES, EventBus, EventType, Subscription
 from repro.core.index import ChainIndex, SequenceAggregate, legacy_aggregates, legacy_find_entry
 from repro.core.errors import (
     AuthorizationError,
@@ -78,6 +79,10 @@ __all__ = [
     "Entry",
     "EntryKind",
     "EntryReference",
+    "AUDIT_EVENT_TYPES",
+    "EventBus",
+    "EventType",
+    "Subscription",
     "ChainIndex",
     "SequenceAggregate",
     "legacy_aggregates",

@@ -1,8 +1,8 @@
 """The selective-deletion blockchain façade.
 
 :class:`Blockchain` is the primary public API of the library.  It maintains
-the list of *living* blocks, the shifting genesis marker *m*, the deletion
-registry and the pending-entry pool, and it drives the summarizer:
+the *living* blocks, the shifting genesis marker *m*, the deletion registry
+and the pending-entry pool, and it drives the summarizer:
 
 * entries are submitted with :meth:`add_entry` (signed against the configured
   scheme and validated against the optional entry schema),
@@ -16,6 +16,15 @@ registry and the pending-entry pool, and it drives the summarizer:
 * :meth:`idle_tick` implements the empty-block progress rule of
   Section IV-D3.
 
+The façade is layered (mirroring the anchor-node architecture of
+Section IV-A): *where blocks live* is delegated to a pluggable
+:class:`~repro.storage.memstore.BlockStore` (volatile memory by default, the
+append-only journal for durable deployments), and *who is told about it* is
+delegated to a typed :class:`~repro.core.events.EventBus` that anchor nodes,
+metrics collectors and applications subscribe to.  A marker shift maps to
+the store's ``truncate_before`` — the operation that physically reclaims
+space, the paper's data-reduction claim.
+
 The class is deliberately independent of any networking: anchor nodes in
 :mod:`repro.network` each hold their own :class:`Blockchain` replica and rely
 on the determinism of sealing to stay in sync, exactly as Section IV-B
@@ -24,7 +33,6 @@ prescribes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
 from repro.core.block import Block, BlockType, make_genesis_block
@@ -38,30 +46,22 @@ from repro.core.deletion import (
     default_authorizer,
 )
 from repro.core.entry import Entry, EntryKind, EntryReference
-from repro.core.errors import ChainIntegrityError, DeletionError
+from repro.core.errors import ChainIntegrityError, DeletionError, StorageError
+from repro.core.events import ChainEvent, EventBus, EventType
 from repro.core.index import ChainIndex
 from repro.core.schema import EntrySchema
 from repro.core.sequence import SequenceView, is_summary_slot
 from repro.core.summarizer import Summarizer, SummaryResult
 from repro.core.retention import needs_empty_block
 from repro.crypto.keys import KeyPair
-from repro.crypto.signatures import new_scheme
+from repro.crypto.signatures import new_scheme, sign_entry
+from repro.storage.memstore import BlockStore, MemoryBlockStore
+
+__all__ = ["Blockchain", "ChainEvent", "CohesionChecker"]
 
 #: A semantic-cohesion checker receives the target reference, the chain and
 #: the requesting participant, and returns (allowed, reason) — Section IV-D2.
 CohesionChecker = Callable[[EntryReference, "Blockchain", str], tuple[bool, str]]
-
-
-@dataclass
-class ChainEvent:
-    """One line of the chain's audit trail (marker shifts, merges, drops)."""
-
-    block_number: int
-    kind: str
-    detail: str
-
-    def __str__(self) -> str:
-        return f"[block {self.block_number}] {self.kind}: {self.detail}"
 
 
 class Blockchain:
@@ -77,6 +77,8 @@ class Blockchain:
         cohesion_checker: Optional[CohesionChecker] = None,
         admins: Iterable[str] = (),
         block_finalizer: Optional[Callable[[Block], Block]] = None,
+        store: Optional[BlockStore] = None,
+        event_bus: Optional[EventBus] = None,
     ) -> None:
         self.config = config or ChainConfig()
         self.clock = clock or LogicalClock()
@@ -94,9 +96,13 @@ class Blockchain:
         #: Summary blocks bypass the hook because every anchor node must be
         #: able to compute them deterministically on its own (Section IV-B).
         self.block_finalizer = block_finalizer
-        self.events: list[ChainEvent] = []
+        #: Typed event fabric: subscribe for announcements and metrics; the
+        #: bounded audit log behind it backs the :attr:`events` trail.
+        #: (Compared against None — an empty bus is falsy via ``__len__``.)
+        self.bus = event_bus if event_bus is not None else EventBus()
 
-        self._blocks: list[Block] = []
+        self._store: BlockStore = store if store is not None else MemoryBlockStore()
+        self._head: Optional[Block] = None
         self._genesis_marker = 0
         self._pending: list[Entry] = []
         self._total_blocks_created = 0
@@ -104,28 +110,69 @@ class Blockchain:
         self._deleted_entry_count = 0
         self._index = ChainIndex(self.config.sequence_length)
 
-        genesis = make_genesis_block(timestamp=self.clock.now())
-        self._append(genesis)
+        stored = list(self._store)
+        if stored:
+            self._adopt_stored_blocks(stored, clock_provided=clock is not None)
+        else:
+            genesis = make_genesis_block(timestamp=self.clock.now())
+            self._append(genesis)
         self._create_due_summary_blocks()
+
+    def _adopt_stored_blocks(self, blocks: list[Block], *, clock_provided: bool) -> None:
+        """Resume from a non-empty block store (durable-mode restart).
+
+        The living chain, marker, index and deletion registry are rebuilt
+        from the stored blocks alone.  Block numbers are assigned
+        consecutively from 0 over the chain's whole life, so the lifetime
+        counters are exact for blocks; the dropped-entry counter is not
+        reconstructible from the living blocks and restarts at 0.  Deletion
+        requests whose request entry was itself already summarised away are
+        likewise unrecoverable from the blocks — deployments that need the
+        complete registry across restarts persist snapshots
+        (:mod:`repro.storage.snapshot`), which serialise it.
+        """
+        self._head = blocks[-1]
+        self._genesis_marker = blocks[0].block_number
+        self._index = ChainIndex.build(blocks, self.config.sequence_length)
+        self._total_blocks_created = self._head.block_number + 1
+        self._deleted_block_count = self._total_blocks_created - len(blocks)
+        if isinstance(self.clock, LogicalClock) and not clock_provided:
+            self.clock = LogicalClock(start=self._head.timestamp + 1)
+        self.validate()
+        # Replay the deletion requests still sitting in living blocks — the
+        # same reconstruction a replica performs in receive_block — so an
+        # approved-but-not-yet-executed deletion keeps its mark and is still
+        # dropped by the next summarisation cycle after the restart.
+        for block in blocks:
+            for entry in block.entries:
+                if entry.is_deletion_request:
+                    approved, reason = self._evaluate_deletion(entry, entry.deletion_target())
+                    self.registry.record_request(entry, approved=approved, reason=reason)
 
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
 
     @property
+    def store(self) -> BlockStore:
+        """The storage backend holding the living blocks."""
+        return self._store
+
+    @property
     def blocks(self) -> list[Block]:
         """The living blocks, oldest first (a copy; mutations are ignored)."""
-        return list(self._blocks)
+        return list(self._store)
 
     @property
     def head(self) -> Block:
         """The newest block."""
-        return self._blocks[-1]
+        assert self._head is not None
+        return self._head
 
     @property
     def genesis(self) -> Block:
         """The current (possibly shifted) Genesis Block."""
-        return self._blocks[0]
+        return self._store.get(self._genesis_marker)
 
     @property
     def genesis_marker(self) -> int:
@@ -135,7 +182,7 @@ class Blockchain:
     @property
     def length(self) -> int:
         """Number of living blocks (the paper's l_β)."""
-        return len(self._blocks)
+        return len(self._store)
 
     @property
     def next_block_number(self) -> int:
@@ -161,6 +208,11 @@ class Blockchain:
     def pending_entries(self) -> list[Entry]:
         """Entries submitted but not yet sealed into a block."""
         return list(self._pending)
+
+    @property
+    def events(self) -> list[ChainEvent]:
+        """The audit trail: the bounded window of notable chain events."""
+        return self.bus.audit_log
 
     def entry_count(self) -> int:
         """Total number of entries currently stored in living blocks (O(1))."""
@@ -193,10 +245,12 @@ class Blockchain:
         Raises :class:`KeyError` for block numbers before the marker (deleted)
         or after the head.
         """
-        index = block_number - self._genesis_marker
-        if index < 0 or index >= len(self._blocks):
+        if block_number < self._genesis_marker or block_number > self.head.block_number:
             raise KeyError(f"block {block_number} is not part of the living chain")
-        block = self._blocks[index]
+        try:
+            block = self._store.get(block_number)
+        except StorageError:
+            raise KeyError(f"block {block_number} is not part of the living chain") from None
         if block.block_number != block_number:
             raise ChainIntegrityError(
                 f"block numbering is inconsistent: expected {block_number}, found {block.block_number}"
@@ -231,7 +285,7 @@ class Blockchain:
             expires_at_time=expires_at_time,
             expires_at_block=expires_at_block,
         )
-        entry = self._sign(entry, author, key_pair)
+        entry = sign_entry(self.scheme, entry, author, key_pair)
         self._pending.append(entry)
         return entry
 
@@ -257,10 +311,7 @@ class Blockchain:
             approved, reason = self._evaluate_deletion(entry, reference)
             self._pending.append(entry)
             decision = self.registry.record_request(entry, approved=approved, reason=reason)
-            self._record_event(
-                "deletion-approved" if approved else "deletion-rejected",
-                f"{entry.author} requested deletion of {reference}: {reason}",
-            )
+            self._publish_deletion_requested(entry.author, reference, approved, reason)
             return decision
         if validate_schema and self.schema is not None:
             self.schema.validate(entry.data)
@@ -285,15 +336,12 @@ class Blockchain:
         """
         reference = target if isinstance(target, EntryReference) else EntryReference(*target)
         request = build_deletion_request(reference, author=author, signature="", reason=reason)
-        request = self._sign(request, author, key_pair)
+        request = sign_entry(self.scheme, request, author, key_pair)
 
         approved, decision_reason = self._evaluate_deletion(request, reference)
         self._pending.append(request)
         decision = self.registry.record_request(request, approved=approved, reason=decision_reason)
-        self._record_event(
-            "deletion-approved" if approved else "deletion-rejected",
-            f"{author} requested deletion of {reference}: {decision_reason}",
-        )
+        self._publish_deletion_requested(author, reference, approved, decision_reason)
         if strict and not approved:
             raise DeletionError(decision_reason)
         return decision
@@ -314,18 +362,6 @@ class Blockchain:
                 return False, f"semantic cohesion violated: {cohesion_reason}"
         return True, reason
 
-    def _sign(self, entry: Entry, author: str, key_pair: Optional[KeyPair]) -> Entry:
-        signed = self.scheme.sign(entry.signing_payload(), author, key_pair)
-        return Entry(
-            data=entry.data,
-            author=author,
-            signature=signed.signature,
-            public_key=signed.public_key,
-            kind=entry.kind,
-            expires_at_time=entry.expires_at_time,
-            expires_at_block=entry.expires_at_block,
-        )
-
     # ------------------------------------------------------------------ #
     # Block production
     # ------------------------------------------------------------------ #
@@ -335,7 +371,9 @@ class Blockchain:
 
         Afterwards any due summary block is created automatically, which may
         merge expiring sequences, shift the genesis marker and physically cut
-        old blocks off.
+        old blocks off.  Subscribers (anchor nodes announcing to their peers)
+        are notified through a ``block-sealed`` event once sealing — including
+        the follow-up summary work — has completed.
         """
         block = Block(
             block_number=self.next_block_number,
@@ -349,6 +387,13 @@ class Blockchain:
         self._pending = []
         self._append(block)
         self._create_due_summary_blocks()
+        self._publish(
+            EventType.BLOCK_SEALED,
+            f"block {block.block_number} sealed with {len(block.entries)} entries",
+            block_number=block.block_number,
+            block=block,
+            entry_count=len(block.entries),
+        )
         return block
 
     def receive_block(self, block: Block) -> Block:
@@ -369,11 +414,11 @@ class Blockchain:
         self._append(block)
         for entry in block.entries:
             if entry.is_deletion_request:
-                approved, reason = self._evaluate_deletion(entry, entry.deletion_target())
+                reference = entry.deletion_target()
+                approved, reason = self._evaluate_deletion(entry, reference)
                 self.registry.record_request(entry, approved=approved, reason=reason)
-                self._record_event(
-                    "deletion-approved" if approved else "deletion-rejected",
-                    f"replicated deletion request by {entry.author}: {reason}",
+                self._publish_deletion_requested(
+                    entry.author, reference, approved, reason, replicated=True
                 )
         self._create_due_summary_blocks()
         return block
@@ -406,7 +451,10 @@ class Blockchain:
             current_time=self._peek_time(),
         ):
             return None
-        self._record_event("empty-block", "idle interval elapsed; appending empty block")
+        self._publish(
+            EventType.EMPTY_BLOCK,
+            "idle interval elapsed; appending empty block",
+        )
         return self.seal_block()
 
     def _peek_time(self) -> int:
@@ -416,16 +464,27 @@ class Blockchain:
         return self.clock.now()
 
     def _append(self, block: Block) -> None:
-        if self._blocks:
-            if block.block_number != self.head.block_number + 1:
+        head = self._head
+        if head is not None:
+            if block.block_number != head.block_number + 1:
                 raise ChainIntegrityError(
-                    f"expected block number {self.head.block_number + 1}, got {block.block_number}"
+                    f"expected block number {head.block_number + 1}, got {block.block_number}"
                 )
-            if block.previous_hash != self.head.block_hash:
+            if block.previous_hash != head.block_hash:
                 raise ChainIntegrityError("previous hash does not match the current head")
-        self._blocks.append(block)
+        try:
+            self._store.append(block)
+        except StorageError as exc:
+            raise ChainIntegrityError(f"storage backend rejected block: {exc}") from exc
+        self._head = block
         self._total_blocks_created += 1
         self._index.on_append(block)
+        self._publish(
+            EventType.BLOCK_APPENDED,
+            f"block {block.block_number} ({block.block_type.value}) appended",
+            block=block,
+            block_type=block.block_type.value,
+        )
 
     def _create_due_summary_blocks(self) -> None:
         while is_summary_slot(self.next_block_number, self.config.sequence_length):
@@ -440,10 +499,12 @@ class Blockchain:
             current_time=self._peek_time(),
         )
         self._append(result.block)
-        self._record_event(
-            "summary-block",
+        self._publish(
+            EventType.SUMMARY_CREATED,
             f"summary block {result.block.block_number} created "
             f"({len(result.carried_entries)} entries carried, {len(result.dropped_entries)} dropped)",
+            carried_entries=len(result.carried_entries),
+            dropped_entries=len(result.dropped_entries),
         )
         if result.shifted_marker:
             self._apply_marker_shift(result)
@@ -452,27 +513,76 @@ class Blockchain:
     def _apply_marker_shift(self, result: SummaryResult) -> None:
         assert result.new_marker is not None
         new_marker = result.new_marker
-        cut_off = [block for block in self._blocks if block.block_number < new_marker]
-        self._blocks = [block for block in self._blocks if block.block_number >= new_marker]
+        cut_off: list[Block] = []
+        for block in self._store:
+            if block.block_number >= new_marker:
+                break
+            cut_off.append(block)
+        self._store.truncate_before(new_marker)
         self._genesis_marker = new_marker
         self._index.cut_before(new_marker, cut_off)
         self._deleted_block_count += len(cut_off)
         self._deleted_entry_count += len(result.dropped_entries)
         for dropped in result.dropped_entries:
             if self.registry.is_marked_entry(dropped.entry, dropped.block_number):
+                reference = dropped.entry.reference_in(dropped.block_number)
                 try:
-                    self.registry.mark_executed(dropped.entry.reference_in(dropped.block_number))
+                    self.registry.mark_executed(reference)
                 except DeletionError:
-                    pass
+                    continue
+                self._publish(
+                    EventType.DELETION_EXECUTED,
+                    f"deletion of {reference} executed; cut off by marker shift to {new_marker}",
+                    reference=reference.to_dict(),
+                    new_marker=new_marker,
+                )
         merged = ", ".join(str(view.index) for view in result.expired_sequences)
-        self._record_event(
-            "marker-shift",
+        self._publish(
+            EventType.MARKER_SHIFT,
             f"sequences [{merged}] merged into block {result.block.block_number}; "
             f"genesis marker moved to block {new_marker}; {len(cut_off)} blocks deleted",
+            new_marker=new_marker,
+            blocks_deleted=len(cut_off),
+            merged_sequences=[view.index for view in result.expired_sequences],
         )
 
-    def _record_event(self, kind: str, detail: str) -> None:
-        self.events.append(ChainEvent(block_number=self.head.block_number, kind=kind, detail=detail))
+    def _publish(
+        self,
+        event_type: EventType,
+        detail: str,
+        *,
+        block_number: Optional[int] = None,
+        **payload: Any,
+    ) -> None:
+        """Publish a typed event anchored at the current head (or override)."""
+        self.bus.publish(
+            ChainEvent(
+                block_number=self.head.block_number if block_number is None else block_number,
+                kind=event_type.value,
+                detail=detail,
+                payload=payload,
+            )
+        )
+
+    def _publish_deletion_requested(
+        self,
+        author: str,
+        reference: EntryReference,
+        approved: bool,
+        reason: str,
+        *,
+        replicated: bool = False,
+    ) -> None:
+        verdict = "approved" if approved else "rejected"
+        prefix = "replicated deletion request" if replicated else "deletion request"
+        self._publish(
+            EventType.DELETION_REQUESTED,
+            f"{prefix} by {author} for {reference} {verdict}: {reason}",
+            reference=reference.to_dict(),
+            author=author,
+            approved=approved,
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -505,7 +615,7 @@ class Blockchain:
 
     def iter_entries(self) -> Iterable[tuple[Block, Entry]]:
         """Iterate over every (block, entry) pair in the living chain."""
-        for block in self._blocks:
+        for block in self._store:
             for entry in block.entries:
                 yield block, entry
 
@@ -518,7 +628,7 @@ class Blockchain:
         from repro.core.validation import validate_chain
 
         validate_chain(
-            self._blocks,
+            list(self._store),
             config=self.config,
             genesis_marker=self._genesis_marker,
             verify_signatures=verify_signatures,
@@ -548,18 +658,19 @@ class Blockchain:
         O(total entries); used by the equivalence tests and snapshot loads.
         Raises :class:`ChainIntegrityError` on any divergence.
         """
-        self._index.self_check(self._blocks, self._genesis_marker)
+        self._index.self_check(list(self._store), self._genesis_marker)
 
     def to_dict(self) -> dict[str, Any]:
-        """Serialise the full chain state (blocks, marker, registry, config)."""
+        """Serialise the full chain state (blocks, marker, registry, events)."""
         return {
             "config": self.config.to_dict(),
             "genesis_marker": self._genesis_marker,
             "total_blocks_created": self._total_blocks_created,
             "deleted_block_count": self._deleted_block_count,
             "deleted_entry_count": self._deleted_entry_count,
-            "blocks": [block.to_dict() for block in self._blocks],
+            "blocks": [block.to_dict() for block in self._store],
             "registry": self.registry.to_dict(),
+            "events": [event.to_dict() for event in self.bus.audit_log],
         }
 
     @classmethod
@@ -572,8 +683,16 @@ class Blockchain:
         authorizer: Optional[Authorizer] = None,
         cohesion_checker: Optional[CohesionChecker] = None,
         admins: Iterable[str] = (),
+        store: Optional[BlockStore] = None,
+        event_bus: Optional[EventBus] = None,
     ) -> "Blockchain":
-        """Restore a chain previously serialised with :meth:`to_dict`."""
+        """Restore a chain previously serialised with :meth:`to_dict`.
+
+        ``store`` selects the storage backend the restored chain runs on
+        (fresh in-memory store by default); it must be empty — the snapshot's
+        blocks are loaded into it.  The serialised audit trail is restored
+        into the event bus, so the trail survives snapshot round-trips.
+        """
         config = ChainConfig.from_dict(payload["config"])
         chain = cls.__new__(cls)
         chain.config = config
@@ -588,19 +707,28 @@ class Blockchain:
             allow_admin_foreign_deletion=config.allow_foreign_deletion_by_admin,
         )
         chain.block_finalizer = None
-        chain.events = []
-        chain._blocks = [Block.from_dict(item) for item in payload.get("blocks", ())]
-        chain._genesis_marker = int(payload.get("genesis_marker", 0))
+        chain.bus = event_bus if event_bus is not None else EventBus()
+        chain.bus.restore_audit_log(
+            ChainEvent.from_dict(item) for item in payload.get("events", ())
+        )
+        blocks = [Block.from_dict(item) for item in payload.get("blocks", ())]
+        if not blocks:
+            raise ChainIntegrityError("serialised chain contains no blocks")
+        chain._store = store if store is not None else MemoryBlockStore()
+        if len(chain._store):
+            raise ChainIntegrityError("the store passed to from_dict must be empty")
+        for block in blocks:
+            chain._store.append(block)
+        chain._head = blocks[-1]
+        chain._genesis_marker = int(payload.get("genesis_marker", blocks[0].block_number))
         chain._pending = []
-        chain._total_blocks_created = int(payload.get("total_blocks_created", len(chain._blocks)))
+        chain._total_blocks_created = int(payload.get("total_blocks_created", len(blocks)))
         chain._deleted_block_count = int(payload.get("deleted_block_count", 0))
         chain._deleted_entry_count = int(payload.get("deleted_entry_count", 0))
-        if not chain._blocks:
-            raise ChainIntegrityError("serialised chain contains no blocks")
-        chain._index = ChainIndex.build(chain._blocks, config.sequence_length)
+        chain._index = ChainIndex.build(blocks, config.sequence_length)
         # Restore the clock to continue after the last timestamp.
         if isinstance(chain.clock, LogicalClock) and clock is None:
-            chain.clock = LogicalClock(start=chain._blocks[-1].timestamp + 1)
+            chain.clock = LogicalClock(start=blocks[-1].timestamp + 1)
         return chain
 
     def __len__(self) -> int:

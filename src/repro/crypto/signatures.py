@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.crypto.hashing import canonical_json, sha256_hex
 from repro.crypto.keys import KeyPair, verify_with_public_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports crypto)
+    from repro.core.entry import Entry
 
 
 @dataclass(frozen=True)
@@ -145,6 +148,36 @@ def new_scheme(name: str) -> SignatureScheme:
     except KeyError:
         known = ", ".join(sorted(_SCHEMES))
         raise ValueError(f"unknown signature scheme {name!r}; known schemes: {known}") from None
+
+
+def sign_entry(
+    scheme: SignatureScheme,
+    entry: "Entry",
+    identity: str,
+    key_pair: Optional[KeyPair] = None,
+) -> "Entry":
+    """Sign ``entry`` on behalf of ``identity`` and return the signed copy.
+
+    This is the one signing path shared by the chain façade (entries
+    submitted in-process) and the light clients (entries signed before they
+    travel to an anchor node) — both cover :meth:`Entry.signing_payload`, so
+    an entry signed locally verifies identically after network transfer.
+    The returned entry keeps the payload, kind and expiry bounds but carries
+    the fresh signature, signer identity and (for asymmetric schemes) the
+    public key.
+    """
+    from repro.core.entry import Entry
+
+    signed = scheme.sign(entry.signing_payload(), identity, key_pair)
+    return Entry(
+        data=entry.data,
+        author=identity,
+        signature=signed.signature,
+        public_key=signed.public_key,
+        kind=entry.kind,
+        expires_at_time=entry.expires_at_time,
+        expires_at_block=entry.expires_at_block,
+    )
 
 
 def register_scheme(scheme_class: type[SignatureScheme]) -> None:

@@ -23,6 +23,10 @@ class MessageKind(str, Enum):
 
     SUBMIT_ENTRY = "submit_entry"
     SUBMIT_DELETION = "submit_deletion"
+    SEAL_REQUEST = "seal_request"
+    IDLE_TICK = "idle_tick"
+    FIND_ENTRY = "find_entry"
+    QUERY_STATISTICS = "query_statistics"
     BLOCK_ANNOUNCE = "block_announce"
     SUMMARY_HASH = "summary_hash"
     SYNC_REQUEST = "sync_request"

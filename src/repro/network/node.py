@@ -20,8 +20,9 @@ from repro.core.block import Block
 from repro.core.chain import Blockchain
 from repro.core.entry import Entry, EntryKind, EntryReference
 from repro.core.errors import SelectiveDeletionError, SynchronisationError
+from repro.core.events import ChainEvent, EventType
 from repro.crypto.keys import KeyPair
-from repro.crypto.signatures import new_scheme
+from repro.crypto.signatures import new_scheme, sign_entry
 from repro.network.message import Message, MessageKind
 from repro.network.transport import InMemoryTransport
 
@@ -68,6 +69,17 @@ class AnchorNode:
         self.rejected_blocks: list[tuple[Block, str]] = []
         if self.engine is not None and chain.block_finalizer is None:
             chain.block_finalizer = self.engine.prepare_block
+        # The producer announces every block its chain seals — no matter
+        # whether the seal was triggered by a submission, an explicit seal
+        # request or an idle tick.  Announcing is a *subscription* to the
+        # chain's event bus, not a call the block-production paths must each
+        # remember to make.
+        if self.is_producer:
+            self._announce_subscription = chain.bus.subscribe(
+                self._on_block_sealed, types=(EventType.BLOCK_SEALED,)
+            )
+        else:
+            self._announce_subscription = None
         transport.register(node_id, self.handle_message)
 
     # ------------------------------------------------------------------ #
@@ -87,6 +99,10 @@ class AnchorNode:
         handlers = {
             MessageKind.SUBMIT_ENTRY: self._handle_submit,
             MessageKind.SUBMIT_DELETION: self._handle_submit,
+            MessageKind.SEAL_REQUEST: self._handle_seal_request,
+            MessageKind.IDLE_TICK: self._handle_idle_tick,
+            MessageKind.FIND_ENTRY: self._handle_find_entry,
+            MessageKind.QUERY_STATISTICS: self._handle_statistics,
             MessageKind.BLOCK_ANNOUNCE: self._handle_block_announce,
             MessageKind.SUMMARY_HASH: self._handle_summary_hash,
             MessageKind.SYNC_REQUEST: self._handle_sync_request,
@@ -99,22 +115,72 @@ class AnchorNode:
         except SelectiveDeletionError as exc:
             return message.error(self.node_id, str(exc))
 
+    def _forward_to_producer(self, message: Message) -> Message:
+        """Forward a producer-only message; reply with whatever it said."""
+        response = self.transport.send(self.producer_id, message)
+        if response is None:
+            return message.error(self.node_id, "producer did not respond")
+        return response
+
     def _handle_submit(self, message: Message) -> Message:
         if not self.is_producer:
-            # Forward to the block producer; reply with whatever it said.
-            response = self.transport.send(self.producer_id, message)
-            if response is None:
-                return message.error(self.node_id, "producer did not respond")
-            return response
+            return self._forward_to_producer(message)
         entry = Entry.from_dict(message.payload["entry"])
         decision = self.chain.submit_signed_entry(entry)
-        block = self.chain.seal_block()
-        self._announce(block)
-        payload: dict[str, Any] = {"block_number": block.block_number}
+        payload: dict[str, Any] = {}
         if decision is not None:
             payload["deletion_status"] = decision.status.value
             payload["deletion_reason"] = decision.reason
+        if message.payload.get("defer_seal"):
+            # Queue only; the client batches entries and seals explicitly.
+            payload["queued"] = True
+            payload["pending_entries"] = len(self.chain.pending_entries)
+            return message.reply(MessageKind.ACK, self.node_id, payload)
+        block = self.chain.seal_block()
+        payload["block_number"] = block.block_number
+        payload["entry_number"] = len(block.entries)
         return message.reply(MessageKind.ACK, self.node_id, payload)
+
+    def _handle_seal_request(self, message: Message) -> Message:
+        if not self.is_producer:
+            return self._forward_to_producer(message)
+        block = self.chain.seal_block()
+        return message.reply(
+            MessageKind.ACK,
+            self.node_id,
+            {"block_number": block.block_number, "entry_count": len(block.entries)},
+        )
+
+    def _handle_idle_tick(self, message: Message) -> Message:
+        if not self.is_producer:
+            return self._forward_to_producer(message)
+        ticks = int(message.payload.get("ticks", 1))
+        self.chain.clock.advance(ticks)
+        block = self.chain.idle_tick()
+        payload: dict[str, Any] = {"appended": block is not None}
+        if block is not None:
+            payload["block_number"] = block.block_number
+        return message.reply(MessageKind.ACK, self.node_id, payload)
+
+    def _handle_find_entry(self, message: Message) -> Message:
+        # Lookups are served from the local replica — any anchor can answer.
+        reference = EntryReference.from_dict(message.payload["reference"])
+        located = self.chain.find_entry(reference)
+        if located is None:
+            return message.reply(MessageKind.SYNC_RESPONSE, self.node_id, {"found": False})
+        block, entry = located
+        return message.reply(
+            MessageKind.SYNC_RESPONSE,
+            self.node_id,
+            {"found": True, "block_number": block.block_number, "entry": entry.to_dict()},
+        )
+
+    def _handle_statistics(self, message: Message) -> Message:
+        return message.reply(
+            MessageKind.SYNC_RESPONSE,
+            self.node_id,
+            {"statistics": self.chain.statistics()},
+        )
 
     def _handle_block_announce(self, message: Message) -> Message:
         block = Block.from_dict(message.payload["block"])
@@ -158,6 +224,12 @@ class AnchorNode:
     # Producer-side operations
     # ------------------------------------------------------------------ #
 
+    def _on_block_sealed(self, event: ChainEvent) -> None:
+        """Event-bus subscriber: announce every block the chain seals."""
+        block = event.payload.get("block")
+        if isinstance(block, Block):
+            self._announce(block)
+
     def _announce(self, block: Block) -> None:
         message = Message(
             kind=MessageKind.BLOCK_ANNOUNCE,
@@ -167,12 +239,11 @@ class AnchorNode:
         self.transport.broadcast(self.node_id, self.peers, message)
 
     def produce_block(self) -> Block:
-        """Seal the pending entries locally and announce the block."""
+        """Seal the pending entries locally; the sealed-block subscription
+        announces the result to all peers."""
         if not self.is_producer:
             raise SelectiveDeletionError(f"node {self.node_id} is not the block producer")
-        block = self.chain.seal_block()
-        self._announce(block)
-        return block
+        return self.chain.seal_block()
 
     # ------------------------------------------------------------------ #
     # Synchronisation check (Section IV-B)
@@ -260,16 +331,13 @@ class ClientNode:
         self.key_pair = key_pair
 
     def _sign_entry(self, entry: Entry) -> Entry:
-        signed = self.scheme.sign(entry.signing_payload(), self.client_id, self.key_pair)
-        return Entry(
-            data=entry.data,
-            author=self.client_id,
-            signature=signed.signature,
-            public_key=signed.public_key,
-            kind=entry.kind,
-            expires_at_time=entry.expires_at_time,
-            expires_at_block=entry.expires_at_block,
-        )
+        return sign_entry(self.scheme, entry, self.client_id, self.key_pair)
+
+    def _send(self, anchor_id: str, message: Message) -> Message:
+        response = self.transport.send(anchor_id, message)
+        if response is None:
+            return message.error(self.client_id, "no response from anchor node")
+        return response
 
     def submit_entry(
         self,
@@ -278,8 +346,13 @@ class ClientNode:
         *,
         expires_at_time: Optional[int] = None,
         expires_at_block: Optional[int] = None,
+        defer_seal: bool = False,
     ) -> Message:
-        """Sign a data entry locally and submit it to an anchor node."""
+        """Sign a data entry locally and submit it to an anchor node.
+
+        With ``defer_seal`` the entry is only queued in the producer's
+        pending pool; call :meth:`request_seal` to seal a batch explicitly.
+        """
         entry = self._sign_entry(
             Entry(
                 data=data,
@@ -289,15 +362,15 @@ class ClientNode:
                 expires_at_block=expires_at_block,
             )
         )
+        payload: dict[str, Any] = {"entry": entry.to_dict()}
+        if defer_seal:
+            payload["defer_seal"] = True
         message = Message(
             kind=MessageKind.SUBMIT_ENTRY,
             sender=self.client_id,
-            payload={"entry": entry.to_dict()},
+            payload=payload,
         )
-        response = self.transport.send(anchor_id, message)
-        if response is None:
-            return message.error(self.client_id, "no response from anchor node")
-        return response
+        return self._send(anchor_id, message)
 
     def request_deletion(
         self,
@@ -318,10 +391,35 @@ class ClientNode:
             sender=self.client_id,
             payload={"entry": entry.to_dict()},
         )
-        response = self.transport.send(anchor_id, message)
-        if response is None:
-            return message.error(self.client_id, "no response from anchor node")
-        return response
+        return self._send(anchor_id, message)
+
+    def request_seal(self, anchor_id: str) -> Message:
+        """Ask the producer to seal the queued entries into the next block."""
+        message = Message(kind=MessageKind.SEAL_REQUEST, sender=self.client_id)
+        return self._send(anchor_id, message)
+
+    def idle_tick(self, anchor_id: str, *, ticks: int = 1) -> Message:
+        """Advance the producer's clock and trigger its idle-block rule."""
+        message = Message(
+            kind=MessageKind.IDLE_TICK,
+            sender=self.client_id,
+            payload={"ticks": ticks},
+        )
+        return self._send(anchor_id, message)
+
+    def find_entry(self, anchor_id: str, reference: EntryReference) -> Message:
+        """Look an entry up on an anchor's replica by its original reference."""
+        message = Message(
+            kind=MessageKind.FIND_ENTRY,
+            sender=self.client_id,
+            payload={"reference": reference.to_dict()},
+        )
+        return self._send(anchor_id, message)
+
+    def query_statistics(self, anchor_id: str) -> Message:
+        """Fetch the operational counters of an anchor's replica."""
+        message = Message(kind=MessageKind.QUERY_STATISTICS, sender=self.client_id)
+        return self._send(anchor_id, message)
 
     def fetch_chain(self, anchor_id: str, *, from_block: int = 0) -> list[Block]:
         """Download the living chain from an anchor node (status-quo sync)."""

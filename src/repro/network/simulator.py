@@ -19,7 +19,10 @@ taking nodes offline and partitioning the network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
+    from repro.service.remote import RemoteLedgerClient
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.core.chain import Blockchain
@@ -116,6 +119,17 @@ class NetworkSimulator:
         client = ClientNode(client_id, self.transport, scheme_name=self.config.signature_scheme)
         self.clients[client_id] = client
         return client
+
+    def ledger_client(self, anchor_id: Optional[str] = None) -> "RemoteLedgerClient":
+        """A :class:`~repro.service.remote.RemoteLedgerClient` for this
+        deployment, bound to ``anchor_id`` (default: the producer)."""
+        from repro.service.remote import RemoteLedgerClient
+
+        return RemoteLedgerClient(
+            self.transport,
+            anchor_id or self.anchor_ids[0],
+            scheme_name=self.config.signature_scheme,
+        )
 
     def take_offline(self, anchor_id: str) -> None:
         """Disconnect an anchor node (crash / isolation fault)."""

@@ -1,0 +1,35 @@
+"""The layered Ledger service API: one client protocol, many backends.
+
+``repro.service`` is the top of the three-layer architecture:
+
+1. **Storage** — :class:`~repro.storage.memstore.BlockStore` backends the
+   chain façade runs on (memory, append-only journal),
+2. **Events** — the typed :class:`~repro.core.events.EventBus` everything
+   observes the chain through,
+3. **Client** — the :class:`LedgerClient` protocol of this package, with an
+   in-process, a networked and a baseline implementation.
+"""
+
+from repro.service.client import (
+    DeletionReceipt,
+    LedgerClient,
+    LedgerError,
+    LedgerRecord,
+    LocalLedgerClient,
+    SubmitReceipt,
+    as_reference,
+)
+from repro.service.baseline import BaselineLedgerClient
+from repro.service.remote import RemoteLedgerClient
+
+__all__ = [
+    "DeletionReceipt",
+    "LedgerClient",
+    "LedgerError",
+    "LedgerRecord",
+    "LocalLedgerClient",
+    "SubmitReceipt",
+    "as_reference",
+    "BaselineLedgerClient",
+    "RemoteLedgerClient",
+]

@@ -1,0 +1,238 @@
+"""The ledger client protocol and the in-process implementation.
+
+:class:`LedgerClient` is the one client surface of the layered Ledger
+service API: *what an application does with the ledger* — submit records,
+request deletions, look entries up, read statistics, drive progress — is
+expressed once, and *where the ledger runs* is an implementation detail:
+
+* :class:`LocalLedgerClient` drives a :class:`~repro.core.chain.Blockchain`
+  in-process (over any storage backend — memory or the durable journal),
+* :class:`~repro.service.remote.RemoteLedgerClient` drives a replicated
+  anchor-node deployment over the transport, exactly as the paper's CORBA
+  clients did (Section V-B4),
+* :class:`~repro.service.baseline.BaselineLedgerClient` adapts the
+  Section III comparison baselines.
+
+A workload replayed through any of them performs the same logical
+operations, which is what makes cross-backend comparisons
+(:mod:`repro.analysis.compare`, the growth benchmarks) apples-to-apples.
+
+The protocol follows the paper's evaluation model: ``submit`` seals one
+block per record by default (every login event becomes one block); batching
+is available by passing ``seal=False`` and calling :meth:`LedgerClient.seal`
+explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.chain import Blockchain
+from repro.core.entry import EntryReference
+from repro.core.errors import SelectiveDeletionError
+
+
+class LedgerError(SelectiveDeletionError):
+    """Raised when a ledger-client operation cannot be completed."""
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """Outcome of one record submission."""
+
+    #: Reference the record can later be addressed by; ``None`` until sealed.
+    reference: Optional[EntryReference]
+    #: Block the record was sealed into; ``None`` while still pending.
+    block_number: Optional[int]
+    #: Whether the record is already part of a sealed block.
+    sealed: bool
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the submission was accepted."""
+        return not self.error
+
+
+@dataclass(frozen=True)
+class DeletionReceipt:
+    """Outcome of one deletion request."""
+
+    approved: bool
+    reason: str
+    #: Block the request was sealed into, when known.
+    block_number: Optional[int] = None
+    #: Whether the removal is globally effective (gone from what every node
+    #: stores).  On the selective-deletion chain approval implies global
+    #: effect; baselines like local pruning accept requests that only take
+    #: effect locally — the distinction the comparison (claim C5) is about.
+    globally_effective: bool = False
+    #: Work units the backend spent on the request (baseline comparison).
+    effort_units: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was processed (approved or not)."""
+        return not self.error
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """A record located through :meth:`LedgerClient.find_entry`."""
+
+    reference: EntryReference
+    data: Mapping[str, Any] = field(default_factory=dict)
+    author: str = ""
+    #: Block the record currently lives in (original or summary copy);
+    #: ``None`` for backends without block addressing (baselines).
+    block_number: Optional[int] = None
+
+
+#: Reference forms accepted by the protocol.
+TargetLike = Union[EntryReference, tuple]
+
+
+def as_reference(target: TargetLike) -> EntryReference:
+    """Coerce a ``(block, entry)`` pair into an :class:`EntryReference`."""
+    return target if isinstance(target, EntryReference) else EntryReference(*target)
+
+
+class LedgerClient(ABC):
+    """One client protocol for local, networked and baseline ledgers."""
+
+    #: Short backend name used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def submit(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        seal: bool = True,
+    ) -> SubmitReceipt:
+        """Submit one signed record; seals one block unless ``seal=False``."""
+
+    @abstractmethod
+    def request_deletion(
+        self,
+        target: TargetLike,
+        author: str,
+        *,
+        reason: str = "",
+    ) -> DeletionReceipt:
+        """Submit a deletion request for ``target`` and seal it into a block."""
+
+    @abstractmethod
+    def find_entry(self, reference: TargetLike) -> Optional[LedgerRecord]:
+        """Locate a record by its original reference, or ``None`` if gone."""
+
+    @abstractmethod
+    def statistics(self) -> dict[str, Any]:
+        """Operational counters of the backend.
+
+        Every implementation guarantees the keys ``living_blocks``,
+        ``byte_size`` and ``total_blocks_created`` so growth sampling works
+        uniformly; chain-backed clients return the full
+        :meth:`~repro.core.chain.Blockchain.statistics` dictionary.
+        """
+
+    @abstractmethod
+    def seal(self) -> Optional[int]:
+        """Seal the pending records into the next block; returns its number."""
+
+    @abstractmethod
+    def tick(self, ticks: int = 1) -> bool:
+        """Advance ledger time; returns ``True`` when an idle block resulted.
+
+        This drives the empty-block progress rule of Section IV-D3 so
+        delayed deletions execute even without traffic.
+        """
+
+    def entry_exists(self, reference: TargetLike) -> bool:
+        """True while the referenced record is still retrievable."""
+        return self.find_entry(reference) is not None
+
+
+class LocalLedgerClient(LedgerClient):
+    """Drives an in-process :class:`Blockchain` (any storage backend)."""
+
+    name = "local"
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+
+    def submit(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        seal: bool = True,
+    ) -> SubmitReceipt:
+        """Sign and queue the record; seal one block unless deferred."""
+        self.chain.add_entry(
+            data,
+            author,
+            expires_at_time=expires_at_time,
+            expires_at_block=expires_at_block,
+        )
+        if not seal:
+            return SubmitReceipt(reference=None, block_number=None, sealed=False)
+        block = self.chain.seal_block()
+        return SubmitReceipt(
+            reference=EntryReference(block.block_number, len(block.entries)),
+            block_number=block.block_number,
+            sealed=True,
+        )
+
+    def request_deletion(
+        self,
+        target: TargetLike,
+        author: str,
+        *,
+        reason: str = "",
+    ) -> DeletionReceipt:
+        """Evaluate and record the request, then seal it (with any pending)."""
+        decision = self.chain.request_deletion(as_reference(target), author, reason=reason)
+        block = self.chain.seal_block()
+        return DeletionReceipt(
+            approved=decision.is_approved,
+            reason=decision.reason,
+            block_number=block.block_number,
+            globally_effective=decision.is_approved,
+            effort_units=1.0,
+        )
+
+    def find_entry(self, reference: TargetLike) -> Optional[LedgerRecord]:
+        """O(1) lookup through the chain index."""
+        resolved = as_reference(reference)
+        located = self.chain.find_entry(resolved)
+        if located is None:
+            return None
+        block, entry = located
+        return LedgerRecord(
+            reference=resolved,
+            data=dict(entry.data),
+            author=entry.author,
+            block_number=block.block_number,
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """The chain's full operational counters (O(1))."""
+        return self.chain.statistics()
+
+    def seal(self) -> Optional[int]:
+        """Seal the pending pool into the next block."""
+        return self.chain.seal_block().block_number
+
+    def tick(self, ticks: int = 1) -> bool:
+        """Advance the chain clock and apply the idle-block rule."""
+        self.chain.clock.advance(ticks)
+        return self.chain.idle_tick() is not None

@@ -1,0 +1,178 @@
+"""Ledger client backed by a replicated anchor-node deployment.
+
+:class:`RemoteLedgerClient` implements the :class:`LedgerClient` protocol on
+top of the anchor-node message protocol: records are signed client-side (one
+:class:`~repro.network.node.ClientNode` per author, the paper's model of
+many users talking to the quorum), submissions travel to an anchor node,
+non-producer anchors forward producer-only operations, and queries are
+served from the contacted anchor's replica.
+
+Because anchor replicas converge deterministically (Section IV-B), a
+workload replayed through this client against a healthy deployment yields
+chain statistics identical to the same workload replayed through a
+:class:`~repro.service.client.LocalLedgerClient` — the parity the layered
+API is designed around (and that the test suite pins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.entry import EntryReference
+from repro.network.message import Message
+from repro.network.node import ClientNode
+from repro.network.transport import InMemoryTransport
+from repro.service.client import (
+    DeletionReceipt,
+    LedgerClient,
+    LedgerError,
+    LedgerRecord,
+    SubmitReceipt,
+    TargetLike,
+    as_reference,
+)
+
+
+class RemoteLedgerClient(LedgerClient):
+    """Drives anchor nodes over the transport — the networked backend."""
+
+    name = "remote"
+
+    def __init__(
+        self,
+        transport: InMemoryTransport,
+        anchor_id: str,
+        *,
+        scheme_name: str = "simplified",
+        query_anchor_id: Optional[str] = None,
+    ) -> None:
+        """Bind to ``anchor_id`` for submissions (and ``query_anchor_id`` for
+        lookups/statistics, default the same node).
+
+        ``scheme_name`` must match the chain configuration of the anchors so
+        client-side signatures verify server-side.
+        """
+        self.transport = transport
+        self.anchor_id = anchor_id
+        self.query_anchor_id = query_anchor_id or anchor_id
+        self.scheme_name = scheme_name
+        #: One signing client per author, created on first use.
+        self._clients: dict[str, ClientNode] = {}
+
+    def _client_for(self, author: str) -> ClientNode:
+        client = self._clients.get(author)
+        if client is None:
+            client = ClientNode(author, self.transport, scheme_name=self.scheme_name)
+            self._clients[author] = client
+        return client
+
+    def _driver(self) -> ClientNode:
+        """The client used for author-less operations (seal, tick, queries)."""
+        return self._client_for("ledger-driver")
+
+    @staticmethod
+    def _require_ok(response: Message, operation: str) -> Message:
+        if response.is_error:
+            raise LedgerError(
+                f"{operation} failed: {response.payload.get('reason', 'unknown error')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # LedgerClient protocol
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        seal: bool = True,
+    ) -> SubmitReceipt:
+        """Sign the record as ``author`` and submit it to the bound anchor."""
+        response = self._client_for(author).submit_entry(
+            self.anchor_id,
+            dict(data),
+            expires_at_time=expires_at_time,
+            expires_at_block=expires_at_block,
+            defer_seal=not seal,
+        )
+        if response.is_error:
+            return SubmitReceipt(
+                reference=None,
+                block_number=None,
+                sealed=False,
+                error=str(response.payload.get("reason", "submission failed")),
+            )
+        block_number = response.payload.get("block_number")
+        entry_number = response.payload.get("entry_number")
+        if block_number is None or entry_number is None:
+            return SubmitReceipt(reference=None, block_number=None, sealed=False)
+        return SubmitReceipt(
+            reference=EntryReference(int(block_number), int(entry_number)),
+            block_number=int(block_number),
+            sealed=True,
+        )
+
+    def request_deletion(
+        self,
+        target: TargetLike,
+        author: str,
+        *,
+        reason: str = "",
+    ) -> DeletionReceipt:
+        """Sign and submit a deletion request; the anchor seals it."""
+        response = self._client_for(author).request_deletion(
+            self.anchor_id, as_reference(target), reason=reason
+        )
+        if response.is_error:
+            return DeletionReceipt(
+                approved=False,
+                reason="",
+                error=str(response.payload.get("reason", "deletion request failed")),
+            )
+        approved = response.payload.get("deletion_status") == "approved"
+        return DeletionReceipt(
+            approved=approved,
+            reason=str(response.payload.get("deletion_reason", "")),
+            block_number=response.payload.get("block_number"),
+            globally_effective=approved,
+            effort_units=1.0,
+        )
+
+    def find_entry(self, reference: TargetLike) -> Optional[LedgerRecord]:
+        """Look the record up on the query anchor's replica."""
+        resolved = as_reference(reference)
+        response = self._require_ok(
+            self._driver().find_entry(self.query_anchor_id, resolved), "find_entry"
+        )
+        if not response.payload.get("found"):
+            return None
+        entry = response.payload.get("entry", {})
+        return LedgerRecord(
+            reference=resolved,
+            data=dict(entry.get("data", {})),
+            author=str(entry.get("author", "")),
+            block_number=response.payload.get("block_number"),
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """The query anchor's replica statistics."""
+        response = self._require_ok(
+            self._driver().query_statistics(self.query_anchor_id), "statistics"
+        )
+        return dict(response.payload.get("statistics", {}))
+
+    def seal(self) -> Optional[int]:
+        """Ask the producer to seal the queued batch."""
+        response = self._require_ok(self._driver().request_seal(self.anchor_id), "seal")
+        return response.payload.get("block_number")
+
+    def tick(self, ticks: int = 1) -> bool:
+        """Advance the producer's clock; idle blocks replicate automatically."""
+        response = self._require_ok(
+            self._driver().idle_tick(self.anchor_id, ticks=ticks), "tick"
+        )
+        return bool(response.payload.get("appended"))

@@ -58,20 +58,31 @@ class BlockStore(ABC):
 
 
 class MemoryBlockStore(BlockStore):
-    """Simple dict-backed store used by tests and the network simulator."""
+    """Dict-backed store; the default backend of the chain façade.
+
+    Appends enforce contiguous numbering, so the stored numbers always form
+    one gap-free range ``[first, last]``; the cached bounds make ``append``,
+    ``head`` and ``get`` O(1) — the chain façade sits on this store, so the
+    store must not reintroduce the linear scans the chain index removed.
+    """
 
     def __init__(self) -> None:
         self._blocks: dict[int, Block] = {}
+        self._first: Optional[int] = None
+        self._last: Optional[int] = None
 
     def append(self, block: Block) -> None:
         """Store a block, rejecting duplicates and number regressions."""
         if block.block_number in self._blocks:
             raise StorageError(f"block {block.block_number} is already stored")
-        if self._blocks and block.block_number != max(self._blocks) + 1:
+        if self._last is not None and block.block_number != self._last + 1:
             raise StorageError(
-                f"expected block {max(self._blocks) + 1}, got {block.block_number}"
+                f"expected block {self._last + 1}, got {block.block_number}"
             )
         self._blocks[block.block_number] = block
+        if self._first is None:
+            self._first = block.block_number
+        self._last = block.block_number
 
     def get(self, block_number: int) -> Block:
         """Load a block by number."""
@@ -82,16 +93,28 @@ class MemoryBlockStore(BlockStore):
 
     def truncate_before(self, block_number: int) -> int:
         """Drop all blocks with a smaller number."""
-        doomed = [number for number in self._blocks if number < block_number]
+        if self._first is None:
+            return 0
+        doomed = range(self._first, min(block_number, self._last + 1))
         for number in doomed:
             del self._blocks[number]
+        if self._blocks:
+            self._first = max(self._first, block_number)
+        else:
+            self._first = self._last = None
         return len(doomed)
+
+    def head(self) -> Optional[Block]:
+        """The newest stored block (O(1))."""
+        return self._blocks[self._last] if self._last is not None else None
 
     def __len__(self) -> int:
         return len(self._blocks)
 
     def __iter__(self) -> Iterator[Block]:
-        for number in sorted(self._blocks):
+        if self._first is None:
+            return
+        for number in range(self._first, self._last + 1):
             yield self._blocks[number]
 
 

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.core.chain import Blockchain
 from repro.core.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - the chain façade imports this package
+    from repro.core.chain import Blockchain
 
 
 def save_snapshot(chain: Blockchain, path: Union[str, Path]) -> int:
@@ -34,6 +36,8 @@ def load_snapshot(path: Union[str, Path], **chain_kwargs) -> Blockchain:
     freshly joining anchor node never starts serving lookups from a corrupt
     cache.
     """
+    from repro.core.chain import Blockchain
+
     source = Path(path)
     if not source.exists():
         raise StorageError(f"snapshot {source} does not exist")

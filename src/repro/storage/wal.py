@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from repro.core.block import Block
 from repro.core.errors import StorageError
@@ -27,6 +27,7 @@ class JournalBlockStore(BlockStore):
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._index: dict[int, Block] = {}
         self._truncated_before = 0
+        self._last: Optional[int] = None
         if self.path.exists():
             self._load()
         else:
@@ -51,9 +52,15 @@ class JournalBlockStore(BlockStore):
                     doomed = [n for n in self._index if n < self._truncated_before]
                     for number in doomed:
                         del self._index[number]
+                    if not self._index:
+                        # Mirror truncate_before: an emptied store accepts a
+                        # fresh range starting at any number.
+                        self._last = None
                     continue
                 block = Block.from_dict(record["block"])
                 self._index[block.block_number] = block
+                if self._last is None or block.block_number > self._last:
+                    self._last = block.block_number
 
     def _write_record(self, record: dict) -> None:
         with self.path.open("a", encoding="utf-8") as handle:
@@ -66,15 +73,16 @@ class JournalBlockStore(BlockStore):
     # ------------------------------------------------------------------ #
 
     def append(self, block: Block) -> None:
-        """Append a block record to the journal."""
+        """Append a block record to the journal (O(1) plus the disk write)."""
         if block.block_number in self._index:
             raise StorageError(f"block {block.block_number} is already journaled")
-        if self._index and block.block_number != max(self._index) + 1:
+        if self._last is not None and block.block_number != self._last + 1:
             raise StorageError(
-                f"expected block {max(self._index) + 1}, got {block.block_number}"
+                f"expected block {self._last + 1}, got {block.block_number}"
             )
         self._write_record({"kind": "block", "block": block.to_dict()})
         self._index[block.block_number] = block
+        self._last = block.block_number
 
     def get(self, block_number: int) -> Block:
         """Load a block from the in-memory index."""
@@ -97,7 +105,13 @@ class JournalBlockStore(BlockStore):
         self._truncated_before = max(self._truncated_before, block_number)
         for number in doomed:
             del self._index[number]
+        if not self._index:
+            self._last = None
         return len(doomed)
+
+    def head(self) -> Optional[Block]:
+        """The newest journaled block (O(1))."""
+        return self._index[self._last] if self._last is not None else None
 
     def __len__(self) -> int:
         return len(self._index)

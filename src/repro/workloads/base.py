@@ -14,10 +14,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Union
 
 from repro.core.chain import Blockchain
 from repro.core.entry import EntryReference
+from repro.service.client import LedgerClient, LocalLedgerClient
 
 
 class EventKind(str, Enum):
@@ -82,48 +83,58 @@ class ReplayResult:
 
 def replay(
     workload: Workload,
-    chain: Blockchain,
+    target: Union[Blockchain, LedgerClient],
     *,
     sample_every: int = 1,
     one_block_per_entry: bool = True,
 ) -> ReplayResult:
-    """Replay a workload against a chain and record growth series.
+    """Replay a workload through the ledger-client protocol.
+
+    ``target`` is any :class:`~repro.service.client.LedgerClient` — local
+    chain, networked anchor deployment, or baseline adapter — so every
+    workload replays unchanged against every backend.  Passing a bare
+    :class:`Blockchain` wraps it in a
+    :class:`~repro.service.client.LocalLedgerClient` for convenience.
 
     ``size_series`` / ``length_series`` record ``(total_blocks_created,
     living_bytes)`` and ``(total_blocks_created, living_block_count)`` so the
     growth benchmark can plot bounded-versus-unbounded behaviour (claim C1).
     """
+    client = target if isinstance(target, LedgerClient) else LocalLedgerClient(target)
     result = ReplayResult()
     step = 0
+
+    def sample() -> None:
+        statistics = client.statistics()
+        created = int(statistics.get("total_blocks_created", 0))
+        result.size_series.append((created, int(statistics.get("byte_size", 0))))
+        result.length_series.append((created, int(statistics.get("living_blocks", 0))))
+
     for event in workload:
         if event.kind is EventKind.ENTRY:
-            chain.add_entry(
+            receipt = client.submit(
                 event.data,
                 event.author,
                 expires_at_time=event.expires_at_time,
                 expires_at_block=event.expires_at_block,
+                seal=one_block_per_entry,
             )
             result.entries += 1
-            if one_block_per_entry:
-                chain.seal_block()
+            if receipt.sealed:
                 result.blocks_sealed += 1
         elif event.kind is EventKind.DELETION:
             assert event.target is not None
-            decision = chain.request_deletion(event.target, event.author)
+            receipt = client.request_deletion(event.target, event.author)
             result.deletions += 1
-            if decision.is_approved:
+            if receipt.approved:
                 result.deletions_approved += 1
-            chain.seal_block()
             result.blocks_sealed += 1
         else:
-            chain.clock.advance(event.idle_ticks)
-            if chain.idle_tick() is not None:
+            if client.tick(event.idle_ticks):
                 result.idle_blocks += 1
                 result.blocks_sealed += 1
         step += 1
         if sample_every and step % sample_every == 0:
-            result.size_series.append((chain.total_blocks_created, chain.byte_size()))
-            result.length_series.append((chain.total_blocks_created, chain.length))
-    result.size_series.append((chain.total_blocks_created, chain.byte_size()))
-    result.length_series.append((chain.total_blocks_created, chain.length))
+            sample()
+    sample()
     return result

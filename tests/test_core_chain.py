@@ -234,7 +234,9 @@ class TestSelectiveDeletion:
         self._run_figure7_scenario(paper_chain)
         kinds = {event.kind for event in paper_chain.events}
         assert "marker-shift" in kinds
-        assert "summary-block" in kinds
+        assert "summary-created" in kinds
+        assert "deletion-requested" in kinds
+        assert "deletion-executed" in kinds
 
 
 class TestTemporaryEntries:

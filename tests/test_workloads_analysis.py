@@ -217,7 +217,7 @@ class TestComparisonAndReports:
         assert "K: ALPHA" in text
         stats = render_statistics(chain)
         assert "living blocks" in stats
-        events = render_events(chain, kinds=["summary-block"])
+        events = render_events(chain, kinds=["summary-created"])
         assert "summary block" in events
 
     def test_render_comparison_table(self):
