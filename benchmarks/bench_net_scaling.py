@@ -1,0 +1,183 @@
+"""Scaling shape of block dissemination — gossip vs. broadcast at size.
+
+The paper's deployment (Section V) was three anchor nodes; the interesting
+scaling question is what happens to block dissemination as the quorum grows.
+This benchmark builds kernel-backed deployments of increasing anchor counts
+and, for each size, seals a handful of blocks and measures — in *virtual*
+milliseconds, so the numbers are deterministic and machine-independent —
+
+* how long one sealed block takes to reach every replica,
+* how many announcement messages the producer itself sends (its egress),
+* total delivered messages and bytes on the wire,
+
+once with full broadcast (the producer contacts every peer directly) and
+once with gossip over a random-regular overlay (each node floods its ≤
+``DEGREE`` neighbours).  Expected shape: the producer's egress per block
+grows linearly with the quorum under broadcast but stays flat under gossip,
+and gossip's dissemination time grows markedly slower across the size
+spread.  The measured trajectory is written to ``BENCH_net.json``.
+
+Sizes can be overridden for smoke runs:
+``BENCH_NET_SIZES=4,6 pytest benchmarks/bench_net_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core import ChainConfig
+from repro.network import (
+    EventKernel,
+    GossipOverlay,
+    GossipTopology,
+    LatencyModel,
+    MessageKind,
+    NetworkSimulator,
+)
+from repro.network.message import reset_message_counter
+
+DEFAULT_SIZES = (4, 8, 16, 32)
+#: Full-size runs refresh the committed trajectory; overridden sizes (CI
+#: smoke, local experiments) write a gitignored .local file instead.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_net.json"
+LOCAL_OUTPUT_PATH = OUTPUT_PATH.with_suffix(".local.json")
+
+BLOCKS_PER_RUN = 3
+#: Overlay degree: every node floods all its neighbours (fanout == degree),
+#: so dissemination is a deterministic flood over a sparse graph.
+DEGREE = 4
+SEED = 7
+#: Fixed per-hop latency keeps the virtual-time numbers interpretable as
+#: "hops x 10 ms".
+HOP_MS = 10.0
+
+
+def bench_sizes() -> list[int]:
+    raw = os.environ.get("BENCH_NET_SIZES", "")
+    if raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    return list(DEFAULT_SIZES)
+
+
+def build_deployment(anchors: int, *, gossip: bool) -> NetworkSimulator:
+    kernel = EventKernel(seed=SEED)
+    overlay = None
+    if gossip:
+        ids = [f"anchor-{index}" for index in range(anchors)]
+        topology = GossipTopology.random_regular(ids, degree=DEGREE, seed=SEED)
+        overlay = GossipOverlay(topology, fanout=DEGREE * 2, seed=SEED)
+    simulator = NetworkSimulator(
+        anchor_count=anchors,
+        config=ChainConfig(sequence_length=3),
+        latency=LatencyModel(minimum_ms=HOP_MS, maximum_ms=HOP_MS, seed=SEED),
+        kernel=kernel,
+        gossip=overlay,
+    )
+    simulator.add_client("ALPHA")
+    return simulator
+
+
+def measure(anchors: int, *, gossip: bool) -> dict[str, float]:
+    reset_message_counter()
+    simulator = build_deployment(anchors, gossip=gossip)
+    kernel = simulator.kernel
+    assert kernel is not None
+    per_block_ms: list[float] = []
+    for index in range(BLOCKS_PER_RUN):
+        start = kernel.now
+        simulator.submit_entry(
+            "ALPHA",
+            {"D": f"event {index}", "K": "ALPHA", "S": "sig_ALPHA"},
+            anchor_id=simulator.producer_id,
+        )
+        kernel.run()  # drain every hop of this block's dissemination
+        per_block_ms.append(kernel.now - start)
+        assert simulator.replicas_identical(), (
+            f"dissemination did not converge at {anchors} anchors "
+            f"({'gossip' if gossip else 'broadcast'})"
+        )
+    producer_announcements = sum(
+        1
+        for message in simulator.transport.message_log
+        if message.sender == simulator.producer_id
+        and message.kind is MessageKind.BLOCK_ANNOUNCE
+    )
+    stats = simulator.transport.statistics
+    return {
+        "dissemination_ms_per_block": round(sum(per_block_ms) / len(per_block_ms), 6),
+        "producer_announcements_per_block": producer_announcements / BLOCKS_PER_RUN,
+        "delivered_messages": float(stats.delivered),
+        "bytes_transferred": float(stats.bytes_transferred),
+    }
+
+
+def test_net_scaling_gossip_vs_broadcast():
+    sizes = bench_sizes()
+    trajectory: dict[int, dict[str, dict[str, float]]] = {}
+    for size in sizes:
+        trajectory[size] = {
+            "gossip": measure(size, gossip=True),
+            "broadcast": measure(size, gossip=False),
+        }
+
+    output_path = OUTPUT_PATH if sizes == list(DEFAULT_SIZES) else LOCAL_OUTPUT_PATH
+    output_path.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_net_scaling",
+                "config": {
+                    "blocks_per_run": BLOCKS_PER_RUN,
+                    "overlay_degree": DEGREE,
+                    "hop_ms": HOP_MS,
+                    "seed": SEED,
+                },
+                "sizes": sizes,
+                "trajectory": {str(size): trajectory[size] for size in sizes},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    print()
+    print(f"{'anchors':>8} {'mode':>10} {'ms/block':>12} {'producer tx':>12} {'delivered':>10}")
+    for size in sizes:
+        for mode in ("gossip", "broadcast"):
+            row = trajectory[size][mode]
+            print(
+                f"{size:>8} {mode:>10} {row['dissemination_ms_per_block']:>12.2f} "
+                f"{row['producer_announcements_per_block']:>12.1f} "
+                f"{row['delivered_messages']:>10.0f}"
+            )
+
+    smallest, largest = sizes[0], sizes[-1]
+    # Broadcast egress is structural: the producer contacts every peer.
+    for size in sizes:
+        assert trajectory[size]["broadcast"]["producer_announcements_per_block"] == size - 1
+
+    if largest / smallest < 4:
+        return  # smoke run: shape assertions need a real size spread
+
+    # Gossip bounds the producer's egress by the overlay degree, no matter
+    # how large the quorum grows.
+    for size in sizes:
+        assert trajectory[size]["gossip"]["producer_announcements_per_block"] <= 2 * DEGREE
+
+    # Dissemination time: gossip must scale markedly better than broadcast
+    # across the size spread (hop-parallel flood vs. sequential fan-out).
+    gossip_growth = (
+        trajectory[largest]["gossip"]["dissemination_ms_per_block"]
+        / trajectory[smallest]["gossip"]["dissemination_ms_per_block"]
+    )
+    broadcast_growth = (
+        trajectory[largest]["broadcast"]["dissemination_ms_per_block"]
+        / trajectory[smallest]["broadcast"]["dissemination_ms_per_block"]
+    )
+    assert gossip_growth < broadcast_growth, (
+        f"gossip dissemination grew {gossip_growth:.2f}x vs broadcast "
+        f"{broadcast_growth:.2f}x across a {largest // smallest}x size spread"
+    )

@@ -10,7 +10,9 @@ paper's evaluation scenario and the main analyses without writing any code:
 * ``attack``   — print the 51 %-attack resistance table (Fig. 9),
 * ``compare``  — run the baseline comparison (Section III alternatives),
 * ``parity``   — replay one workload through the local, durable and
-  networked ledger clients and check the statistics are identical.
+  networked ledger clients and check the statistics are identical,
+* ``simulate`` — run a named scenario from the deterministic-kernel
+  catalogue (``--list`` shows it) and print the result as JSON.
 
 Every replay goes through the :class:`~repro.service.client.LedgerClient`
 protocol, so the commands exercise the same layered service API applications
@@ -20,6 +22,8 @@ use.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 import tempfile
 from pathlib import Path
 from typing import Optional, Sequence
@@ -36,6 +40,7 @@ from repro.analysis.report import (
 from repro.core.chain import Blockchain
 from repro.core.config import ChainConfig
 from repro.core.schema import default_log_schema
+from repro.network.scenarios import run_scenario, scenario_catalogue, scenario_names
 from repro.network.simulator import NetworkSimulator
 from repro.service.client import LedgerClient, LocalLedgerClient
 from repro.storage.wal import JournalBlockStore
@@ -123,6 +128,34 @@ def _run_parity(args: argparse.Namespace) -> int:
     print(f"\nstatistics identical across backends: {identical}")
     print(f"replicas in sync: {simulator.sync_check().in_sync}")
     return 0 if identical else 1
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    """Run scenarios from the deterministic-kernel catalogue."""
+    if args.list:
+        for entry in scenario_catalogue():
+            print(f"{entry.name:22s} {entry.description}")
+        return 0
+    if args.scenario is None:
+        print("simulate: pass --scenario NAME (or --list to see the catalogue)")
+        return 2
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    status = 0
+    for name in names:
+        result = run_scenario(name, seed=args.seed, smoke=args.smoke)
+        if args.check_determinism:
+            rerun = run_scenario(name, seed=args.seed, smoke=args.smoke)
+            identical = json.dumps(result, sort_keys=True) == json.dumps(rerun, sort_keys=True)
+            # stderr, so the verdict survives a piped/redirected stdout
+            # (the CI smoke job discards the JSON payload).
+            print(
+                f"[determinism] {name}: byte-identical across two runs: {identical}",
+                file=sys.stderr,
+            )
+            if not identical:
+                status = 1
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return status
 
 
 def _run_attack(args: argparse.Namespace) -> int:
@@ -224,6 +257,28 @@ def build_parser() -> argparse.ArgumentParser:
     parity.add_argument("--events", type=int, default=120, help="workload events")
     parity.add_argument("--seed", type=int, default=5, help="workload seed")
     parity.set_defaults(func=_run_parity)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a named deterministic network scenario"
+    )
+    simulate.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name from the catalogue, or 'all' (see --list)",
+    )
+    simulate.add_argument("--seed", type=int, default=7, help="simulation seed")
+    simulate.add_argument(
+        "--smoke", action="store_true", help="tiny parameters (CI smoke runs)"
+    )
+    simulate.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run twice and verify the results are byte-identical",
+    )
+    simulate.add_argument(
+        "--list", action="store_true", help="list the scenario catalogue and exit"
+    )
+    simulate.set_defaults(func=_run_simulate)
 
     attack = subparsers.add_parser("attack", help="51% attack resistance table")
     attack.add_argument("--trials", type=int, default=500, help="Monte-Carlo trials per cell")

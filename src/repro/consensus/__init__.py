@@ -14,6 +14,7 @@ from repro.consensus.election import (
     BordaElection,
     ElectionResult,
     ElectionStrategy,
+    HeadElection,
     StaticElection,
     elect_anchor_nodes,
     rotate_quorum,
@@ -30,6 +31,7 @@ __all__ = [
     "BordaElection",
     "ElectionResult",
     "ElectionStrategy",
+    "HeadElection",
     "StaticElection",
     "elect_anchor_nodes",
     "rotate_quorum",

@@ -143,6 +143,35 @@ class BordaElection(ElectionStrategy):
         return ElectionResult(anchors=chosen, scores=scores, strategy=self.name)
 
 
+@dataclass
+class HeadElection(ElectionStrategy):
+    """Elect the most up-to-date replicas (highest head block number).
+
+    Used for producer failover: under real message delay replicas progress
+    unevenly — gossip hops still in flight, catch-ups pending — so when the
+    producer disappears, the quorum promotes the replica that has replayed
+    the most blocks (ties broken by node id) and loses nothing.
+    """
+
+    chains: Mapping[str, "Blockchain"] = field(default_factory=dict)
+    name: str = "head"
+
+    def elect(self, seats: int) -> ElectionResult:
+        """Pick the ``seats`` candidates with the highest replica heads."""
+        if seats <= 0:
+            raise ConsensusError("the number of seats must be positive")
+        scores = {
+            node_id: float(chain.head.block_number) for node_id, chain in self.chains.items()
+        }
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        chosen = tuple(node_id for node_id, _ in ranked[:seats])
+        if len(chosen) < seats:
+            raise ConsensusError(
+                f"only {len(chosen)} candidate replicas available; {seats} seats requested"
+            )
+        return ElectionResult(anchors=chosen, scores=scores, strategy=self.name)
+
+
 def elect_anchor_nodes(strategy: ElectionStrategy, seats: int) -> ElectionResult:
     """Convenience wrapper used by the network simulator."""
     return strategy.elect(seats)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.errors import ConsensusError
 
@@ -153,6 +153,22 @@ class Quorum:
     # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
+
+    def record_votes(self, proposal_id: str, votes: Mapping[str, bool]) -> VoteOutcome:
+        """Apply a batch of votes collected in one network round.
+
+        The failover path broadcasts a ``VOTE_REQUEST`` to the reachable
+        anchors and tallies whatever responses came back (some arrive late,
+        some not at all — delay and partitions shape the outcome).  Votes
+        are applied in member order; tallying stops as soon as the proposal
+        is decided.
+        """
+        outcome = self._outcome(self.proposal(proposal_id))
+        for member, approve in sorted(votes.items()):
+            outcome = self.vote(proposal_id, member, approve)
+            if outcome.decided:
+                break
+        return outcome
 
     def decide_unanimously(self, proposal_id: str, kind: str, payload: Any) -> VoteOutcome:
         """Open a proposal and have every member approve it.

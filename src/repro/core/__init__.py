@@ -9,7 +9,7 @@ execution, temporary entries, and chain validation.
 from repro.core.aggregation import AggregatedRecord, EntryAggregator, aggregate_events, compression_ratio
 from repro.core.block import Block, BlockType, RedundancyRecord, make_genesis_block
 from repro.core.chain import Blockchain, ChainEvent
-from repro.core.clock import FixedClock, LogicalClock, SystemClock
+from repro.core.clock import FixedClock, LogicalClock, SimulationClock, SystemClock
 from repro.core.config import (
     ChainConfig,
     LengthUnit,
@@ -64,6 +64,7 @@ __all__ = [
     "ChainEvent",
     "FixedClock",
     "LogicalClock",
+    "SimulationClock",
     "SystemClock",
     "ChainConfig",
     "LengthUnit",

@@ -458,10 +458,14 @@ class Blockchain:
         return self.seal_block()
 
     def _peek_time(self) -> int:
-        peek = getattr(self.clock, "peek", None)
-        if callable(peek):
-            return peek()
-        return self.clock.now()
+        """Passive read of the chain clock (idle checks, expiry evaluation).
+
+        Always routed through ``peek()``: ``LogicalClock.now()`` advances on
+        every reading, so a passive read going through ``now()`` would
+        silently age the chain (earlier idle-block triggers, earlier
+        temporary-entry expiry).  Only block creation consumes ``now()``.
+        """
+        return self.clock.peek()
 
     def _append(self, block: Block) -> None:
         head = self._head

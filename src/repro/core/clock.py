@@ -5,21 +5,41 @@ timestamp of the preceding block (Section IV-B), and temporary entries as
 well as time-based retention compare against the current time
 (Sections IV-D3 and IV-D4).  To keep everything deterministic and testable
 the chain takes an injectable clock; the default :class:`LogicalClock` simply
-counts ticks, while :class:`SystemClock` uses wall-clock seconds for
-deployments that want real timestamps.
+counts ticks, :class:`SystemClock` uses wall-clock seconds for deployments
+that want real timestamps, and :class:`SimulationClock` slaves chain time to
+the virtual time of a network :class:`~repro.network.kernel.EventKernel`.
+
+The protocol distinguishes *consuming* reads from *passive* reads:
+``now()`` stamps a new block (and, for :class:`LogicalClock`, advances the
+tick counter), while ``peek()`` answers "what time is it" without side
+effects.  Every non-block read — idle-interval checks, expiry evaluation
+during summarisation, logging, statistics — must use ``peek()``; a passive
+read routed through ``now()`` would silently age a :class:`LogicalClock`
+chain (see the regression tests in ``tests/test_core_config_schema.py``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - only for type annotations
+    from repro.network.kernel import EventKernel
 
 
 class Clock(Protocol):
-    """Minimal clock interface: a monotonically non-decreasing integer time."""
+    """Minimal clock interface: a monotonically non-decreasing integer time.
+
+    ``now()`` is the consuming read used to stamp blocks; ``peek()`` is the
+    passive read used everywhere else and must never advance the clock.
+    """
 
     def now(self) -> int:
-        """Return the current time."""
+        """Return the current time (may advance the clock)."""
+        ...  # pragma: no cover
+
+    def peek(self) -> int:
+        """Return the current time without advancing the clock."""
         ...  # pragma: no cover
 
 
@@ -65,6 +85,10 @@ class FixedClock:
         """Return the frozen value."""
         return self._value
 
+    def peek(self) -> int:
+        """Return the frozen value (reading never changes it)."""
+        return self._value
+
     def set(self, value: int) -> None:
         """Move the frozen value."""
         self._value = value
@@ -76,3 +100,57 @@ class SystemClock:
     def now(self) -> int:
         """Return ``int(time.time())``."""
         return int(time.time())
+
+    def peek(self) -> int:
+        """Same as :meth:`now`; the wall clock advances on its own."""
+        return int(time.time())
+
+
+class SimulationClock:
+    """Chain time slaved to the virtual time of an event kernel.
+
+    Every chain in a simulated deployment holds one of these bound to the
+    shared :class:`~repro.network.kernel.EventKernel`, so block timestamps,
+    idle-interval checks and temporary-entry expiry all follow *simulated*
+    time: an idle period is a stretch of kernel time with no traffic, not a
+    manual ``tick()`` call.  Because every replica reads the same kernel,
+    expiry decisions during summarisation agree across nodes by
+    construction (with per-replica logical clocks they could diverge).
+
+    ``ms_per_tick`` converts kernel milliseconds into chain ticks; the
+    default of 1.0 makes one tick one virtual millisecond.  Reading the
+    clock never advances it — the kernel owns time.  :meth:`advance` (used
+    by the idle-tick protocol path) fast-forwards the *kernel*, executing
+    any deliveries and faults that fall due on the way, so "advance the
+    producer's clock" and "let simulated time pass" are the same operation.
+    """
+
+    def __init__(self, kernel: "EventKernel", *, ms_per_tick: float = 1.0, start: int = 0) -> None:
+        if ms_per_tick <= 0:
+            raise ValueError("ms_per_tick must be positive")
+        self._kernel = kernel
+        self._ms_per_tick = ms_per_tick
+        self._start = start
+
+    @property
+    def kernel(self) -> "EventKernel":
+        """The kernel this clock reads."""
+        return self._kernel
+
+    def now(self) -> int:
+        """Current chain tick derived from kernel time (never advances)."""
+        return self.peek()
+
+    def peek(self) -> int:
+        """Current chain tick derived from kernel time."""
+        return self._start + int(self._kernel.now // self._ms_per_tick)
+
+    def advance(self, ticks: int) -> None:
+        """Fast-forward the kernel by ``ticks`` chain ticks of virtual time.
+
+        Events (deliveries, scheduled faults, heartbeats) falling due inside
+        the window are executed — simulated time genuinely passes.
+        """
+        if ticks < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._kernel.run_until(self._kernel.now + ticks * self._ms_per_tick)

@@ -1,15 +1,28 @@
 """Network substrate: anchor nodes, clients, transport, RPC, gossip, simulator.
 
-Replaces the paper's CORBA client–server prototype with an in-process,
-deterministic simulation (see DESIGN.md for the substitution rationale).
+Replaces the paper's CORBA client–server prototype with an in-process
+simulation (see DESIGN.md for the substitution rationale).  The stack runs
+on a deterministic discrete-event kernel (:mod:`repro.network.kernel`):
+latency decides *when* messages arrive, faults are scheduled events, and the
+named-scenario catalogue (:mod:`repro.network.scenarios`) packages
+reproducible fault experiments.
 """
 
-from repro.network.gossip import GossipProtocol, GossipResult, GossipTopology
+from repro.network.gossip import GossipOverlay, GossipProtocol, GossipResult, GossipTopology
+from repro.network.kernel import EventHandle, EventKernel, KernelError
 from repro.network.message import Message, MessageKind
 from repro.network.node import AnchorNode, ClientNode, SyncReport
-from repro.network.rpc import RpcClient, RpcError, RpcServer, expose_chain_api
+from repro.network.rpc import RpcClient, RpcError, RpcServer, RpcTimeout, expose_chain_api
+from repro.network.scenarios import (
+    Scenario,
+    ScenarioError,
+    run_scenario,
+    scenario_catalogue,
+    scenario_names,
+)
 from repro.network.simulator import NetworkSimulator, SimulationReport
 from repro.network.transport import (
+    GeoLatencyModel,
     InMemoryTransport,
     LatencyModel,
     TransportError,
@@ -17,9 +30,13 @@ from repro.network.transport import (
 )
 
 __all__ = [
+    "GossipOverlay",
     "GossipProtocol",
     "GossipResult",
     "GossipTopology",
+    "EventHandle",
+    "EventKernel",
+    "KernelError",
     "Message",
     "MessageKind",
     "AnchorNode",
@@ -28,9 +45,16 @@ __all__ = [
     "RpcClient",
     "RpcError",
     "RpcServer",
+    "RpcTimeout",
     "expose_chain_api",
+    "Scenario",
+    "ScenarioError",
+    "run_scenario",
+    "scenario_catalogue",
+    "scenario_names",
     "NetworkSimulator",
     "SimulationReport",
+    "GeoLatencyModel",
     "InMemoryTransport",
     "LatencyModel",
     "TransportError",

@@ -1,10 +1,18 @@
 """Push gossip for block dissemination.
 
 Large anchor-node sets do not broadcast every block to every peer directly;
-they gossip.  The simulator uses this module to study how fast a sealed block
-(or a deletion request) reaches all anchor nodes under different fan-outs and
-topologies, and how node isolation (Section V-B4, Eclipse/Sybil discussion)
-slows or prevents dissemination.
+they gossip.  This module provides two layers:
+
+* :class:`GossipProtocol` — the abstract round-based model: how many rounds
+  does one item need to cover a topology at a given fan-out?  Used to study
+  dissemination speed analytically (ring vs. random-regular vs. clique) and
+  how node isolation (Section V-B4, Eclipse/Sybil discussion) slows or
+  prevents coverage.
+* :class:`GossipOverlay` — the *live* overlay anchor nodes use when block
+  announcements are disseminated over the kernel-backed transport: each hop
+  picks a deterministic per-``(node, item)`` fan-out subset of its
+  neighbours and forwards via one-way posts, so dissemination consumes
+  virtual time and interleaves with faults and other traffic.
 """
 
 from __future__ import annotations
@@ -101,6 +109,33 @@ class GossipResult:
         if total_nodes <= 0:
             return 0.0
         return len(self.informed) / total_nodes
+
+
+class GossipOverlay:
+    """Fan-out target selection for transport-level gossip dissemination.
+
+    The overlay is shared by every anchor node of a deployment.  Target
+    selection is a pure function of ``(seed, node, item)`` — no shared RNG
+    state — so two runs of the same scenario pick identical forwarding sets
+    regardless of delivery interleaving, which is what keeps kernel-backed
+    simulations byte-for-byte reproducible.
+    """
+
+    def __init__(self, topology: GossipTopology, *, fanout: int = 2, seed: int = 29) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.topology = topology
+        self.fanout = fanout
+        self.seed = seed
+
+    def targets(self, node_id: str, item_key: str) -> list[str]:
+        """Peers ``node_id`` forwards ``item_key`` to (≤ fan-out neighbours)."""
+        neighbours = sorted(self.topology.neighbours(node_id))
+        if len(neighbours) <= self.fanout:
+            return neighbours
+        # String seeds hash stably (sha512) across processes, unlike tuples.
+        rng = random.Random(f"{self.seed}:{node_id}:{item_key}")
+        return sorted(rng.sample(neighbours, self.fanout))
 
 
 class GossipProtocol:

@@ -18,6 +18,19 @@ from typing import Any, Mapping, Optional
 _MESSAGE_COUNTER = itertools.count(1)
 
 
+def reset_message_counter(start: int = 1) -> None:
+    """Rewind the process-global message-id counter.
+
+    Message ids exist to link responses to requests; they are process-global
+    state, so their absolute values depend on everything that ran earlier in
+    the process.  The scenario engine resets the counter before each run so
+    that byte accounting (serialised messages include their id) is identical
+    across repeated runs — the determinism pin of the scenario catalogue.
+    """
+    global _MESSAGE_COUNTER
+    _MESSAGE_COUNTER = itertools.count(start)
+
+
 class MessageKind(str, Enum):
     """All message types of the anchor-node protocol."""
 
@@ -33,6 +46,7 @@ class MessageKind(str, Enum):
     SYNC_RESPONSE = "sync_response"
     VOTE_REQUEST = "vote_request"
     VOTE_RESPONSE = "vote_response"
+    PRODUCER_CHANGE = "producer_change"
     RPC_CALL = "rpc_call"
     RPC_RESULT = "rpc_result"
     ACK = "ack"

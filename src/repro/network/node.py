@@ -23,6 +23,7 @@ from repro.core.errors import SelectiveDeletionError, SynchronisationError
 from repro.core.events import ChainEvent, EventType
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import new_scheme, sign_entry
+from repro.network.gossip import GossipOverlay
 from repro.network.message import Message, MessageKind
 from repro.network.transport import InMemoryTransport
 
@@ -58,6 +59,7 @@ class AnchorNode:
         engine: Optional[ConsensusEngine] = None,
         is_producer: bool = False,
         producer_id: Optional[str] = None,
+        gossip: Optional[GossipOverlay] = None,
     ) -> None:
         self.node_id = node_id
         self.chain = chain
@@ -65,8 +67,21 @@ class AnchorNode:
         self.engine = engine or NullConsensus()
         self.is_producer = is_producer
         self.producer_id = producer_id or node_id
+        #: When set, seal announcements disseminate hop-by-hop through this
+        #: overlay via one-way posts instead of a direct full broadcast.
+        self.gossip = gossip
         self.peers: list[str] = []
         self.rejected_blocks: list[tuple[Block, str]] = []
+        #: Announced blocks that arrived ahead of their predecessors.  Under
+        #: scheduled delivery gossip hops genuinely overtake each other, so
+        #: replicas buffer out-of-order announcements and apply them as the
+        #: gaps fill (live replication stays byte-identical, Section IV-B).
+        self._block_buffer: dict[int, Block] = {}
+        #: Hashes of every gossiped block this node has already ingested —
+        #: including rejected ones, so an invalid block is never re-forwarded
+        #: (two neighbours re-gossiping a rejected block at each other would
+        #: otherwise ping-pong forever).
+        self._seen_announcements: set[str] = set()
         if self.engine is not None and chain.block_finalizer is None:
             chain.block_finalizer = self.engine.prepare_block
         # The producer announces every block its chain seals — no matter
@@ -106,6 +121,8 @@ class AnchorNode:
             MessageKind.BLOCK_ANNOUNCE: self._handle_block_announce,
             MessageKind.SUMMARY_HASH: self._handle_summary_hash,
             MessageKind.SYNC_REQUEST: self._handle_sync_request,
+            MessageKind.VOTE_REQUEST: self._handle_vote_request,
+            MessageKind.PRODUCER_CHANGE: self._handle_producer_change,
         }
         handler = handlers.get(message.kind)
         if handler is None:
@@ -182,8 +199,21 @@ class AnchorNode:
             {"statistics": self.chain.statistics()},
         )
 
-    def _handle_block_announce(self, message: Message) -> Message:
+    def _handle_block_announce(self, message: Message) -> Optional[Message]:
         block = Block.from_dict(message.payload["block"])
+        gossip_meta = message.payload.get("gossip")
+        if gossip_meta is not None:
+            # One-way gossip hop: ingest (buffering out-of-order arrivals)
+            # and re-forward while the item is fresh.  No response travels
+            # back — the transport discards return values of posts anyway.
+            fresh = self._ingest_announced_block(block)
+            if fresh and self.gossip is not None:
+                self._gossip_forward(
+                    str(gossip_meta.get("item", block.block_hash)),
+                    message.payload["block"],
+                    hops=int(gossip_meta.get("hops", 0)) + 1,
+                )
+            return None
         verdict = self.engine.validate_block(block, self.chain.head)
         if not verdict.accepted:
             self.rejected_blocks.append((block, verdict.reason))
@@ -194,6 +224,81 @@ class AnchorNode:
             self.node_id,
             {"head": self.chain.head.block_number, "head_hash": self.chain.head.block_hash},
         )
+
+    def _ingest_announced_block(self, block: Block) -> bool:
+        """Buffer an announced block and apply every consecutive one.
+
+        Returns ``True`` when the block was new to this replica (worth
+        re-forwarding), ``False`` for duplicates and already-covered numbers.
+        """
+        if block.block_hash in self._seen_announcements:
+            return False
+        if block.block_number <= self.chain.head.block_number:
+            return False
+        if block.block_number in self._block_buffer:
+            return False
+        self._seen_announcements.add(block.block_hash)
+        self._block_buffer[block.block_number] = block
+        self._drain_block_buffer()
+        return True
+
+    def _drain_block_buffer(self) -> None:
+        while True:
+            block = self._block_buffer.pop(self.chain.next_block_number, None)
+            if block is None:
+                return
+            verdict = self.engine.validate_block(block, self.chain.head)
+            if not verdict.accepted:
+                self.rejected_blocks.append((block, verdict.reason))
+                return
+            self.chain.receive_block(block)
+
+    def _handle_vote_request(self, message: Message) -> Message:
+        """Vote on a producer-failover proposal (Section IV-A quorum duty).
+
+        The ballot names a candidate and the head block number it claims;
+        this replica approves when the candidate is at least as up to date
+        as itself — under real message delay replicas progress unevenly, so
+        the vote outcome (and its timing) depends on who has seen what.
+        """
+        candidate = str(message.payload.get("candidate", ""))
+        claimed_head = int(message.payload.get("candidate_head", -1))
+        approve = bool(candidate) and claimed_head >= self.chain.head.block_number
+        return message.reply(
+            MessageKind.VOTE_RESPONSE,
+            self.node_id,
+            {
+                "proposal_id": message.payload.get("proposal_id"),
+                "approve": approve,
+                "head": self.chain.head.block_number,
+            },
+        )
+
+    def _handle_producer_change(self, message: Message) -> Message:
+        """Adopt a quorum-decided producer change."""
+        self.set_producer(str(message.payload["producer"]))
+        return message.reply(
+            MessageKind.ACK, self.node_id, {"producer": self.producer_id}
+        )
+
+    def set_producer(self, producer_id: str) -> None:
+        """Point this node at a (possibly new) block producer.
+
+        Becoming the producer attaches the seal-announcement subscription;
+        losing the role detaches it, so exactly one node announces.
+        """
+        self.producer_id = producer_id
+        becoming = producer_id == self.node_id
+        if becoming and not self.is_producer:
+            self.is_producer = True
+            self._announce_subscription = self.chain.bus.subscribe(
+                self._on_block_sealed, types=(EventType.BLOCK_SEALED,)
+            )
+        elif not becoming and self.is_producer:
+            self.is_producer = False
+            if self._announce_subscription is not None:
+                self.chain.bus.unsubscribe(self._announce_subscription)
+                self._announce_subscription = None
 
     def _handle_summary_hash(self, message: Message) -> Message:
         block_number = int(message.payload["block_number"])
@@ -231,12 +336,32 @@ class AnchorNode:
             self._announce(block)
 
     def _announce(self, block: Block) -> None:
+        if self.gossip is not None:
+            # Gossip-backed dissemination: seed the overlay with the sealed
+            # block; peers re-forward hop by hop (over the kernel's virtual
+            # clock when the transport is scheduled).
+            self._gossip_forward(block.block_hash, block.to_dict(), hops=0)
+            return
         message = Message(
             kind=MessageKind.BLOCK_ANNOUNCE,
             sender=self.node_id,
             payload={"block": block.to_dict()},
         )
         self.transport.broadcast(self.node_id, self.peers, message)
+
+    def _gossip_forward(self, item_key: str, block_payload: dict, *, hops: int) -> None:
+        assert self.gossip is not None
+        message = Message(
+            kind=MessageKind.BLOCK_ANNOUNCE,
+            sender=self.node_id,
+            payload={
+                "block": block_payload,
+                "gossip": {"item": item_key, "hops": hops},
+            },
+        )
+        self.transport.publish(
+            self.node_id, self.gossip.targets(self.node_id, item_key), message
+        )
 
     def produce_block(self) -> Block:
         """Seal the pending entries locally; the sealed-block subscription
@@ -288,6 +413,8 @@ class AnchorNode:
                 break
             self.chain.receive_block(block)
             adopted += 1
+        # Gossiped announcements that overtook the gap can now be applied.
+        self._drain_block_buffer()
         return adopted
 
     def sync_check(self, *, raise_on_divergence: bool = False) -> SyncReport:

@@ -21,11 +21,15 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro.core.errors import SelectiveDeletionError
 from repro.network.message import Message, MessageKind
-from repro.network.transport import InMemoryTransport
+from repro.network.transport import InMemoryTransport, TransportError
 
 
 class RpcError(SelectiveDeletionError):
     """Raised on the client side when a remote call fails."""
+
+
+class RpcTimeout(RpcError):
+    """Raised when a remote call exceeds the client's round-trip budget."""
 
 
 class RpcServer:
@@ -80,12 +84,26 @@ class _RemoteMethod:
 
 
 class RpcClient:
-    """Dynamic proxy marshalling attribute calls into RPC messages."""
+    """Dynamic proxy marshalling attribute calls into RPC messages.
 
-    def __init__(self, client_id: str, service_id: str, transport: InMemoryTransport) -> None:
+    ``timeout_ms`` bounds the (simulated) round trip of every call: when the
+    request plus response latency exceeds it, the transport abandons the
+    response and the client raises :class:`RpcTimeout` — the behaviour a
+    CORBA client would observe on a slow or half-partitioned link.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        service_id: str,
+        transport: InMemoryTransport,
+        *,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
         self.client_id = client_id
         self.service_id = service_id
         self.transport = transport
+        self.timeout_ms = timeout_ms
 
     def call(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
         """Invoke a remote method and return its unmarshalled result."""
@@ -94,8 +112,17 @@ class RpcClient:
             sender=self.client_id,
             payload={"method": method_name, "args": list(args), "kwargs": dict(kwargs)},
         )
-        response = self.transport.send(self.service_id, message)
+        try:
+            response = self.transport.send(
+                self.service_id, message, timeout_ms=self.timeout_ms
+            )
+        except TransportError as exc:
+            raise RpcError(f"unknown service {self.service_id!r}: {exc}") from exc
         if response is None:
+            if self.timeout_ms is not None:
+                raise RpcTimeout(
+                    f"call {method_name!r} to {self.service_id!r} exceeded {self.timeout_ms} ms"
+                )
             raise RpcError(f"no response from service {self.service_id!r}")
         if response.is_error:
             raise RpcError(str(response.payload.get("reason", "remote call failed")))

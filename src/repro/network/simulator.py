@@ -12,8 +12,13 @@ and deletion requests.  The simulator exercises the paper's claims that
 * node isolation can be mitigated because clients can fail over to other
   anchor nodes (Section V-B4).
 
-Fault injection supports corrupting a node's replica (to force divergence),
-taking nodes offline and partitioning the network.
+The class itself is a thin deployment driver: it wires chains, nodes,
+clients and (optionally) a :class:`~repro.network.kernel.EventKernel` plus a
+:class:`~repro.network.gossip.GossipOverlay` together, offers fault
+injection (immediate or scheduled on the virtual clock) and collects the
+:class:`SimulationReport`.  The *scenario catalogue* — named, seeded,
+reproducible runs such as partition-and-heal or failover-storm — lives in
+:mod:`repro.network.scenarios` and drives this class.
 """
 
 from __future__ import annotations
@@ -25,11 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.service.remote import RemoteLedgerClient
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
+from repro.consensus.election import HeadElection
+from repro.consensus.quorum import Quorum
 from repro.core.chain import Blockchain
+from repro.core.clock import SimulationClock
 from repro.core.config import ChainConfig
 from repro.core.entry import Entry, EntryReference
 from repro.core.errors import SynchronisationError
+from repro.core.events import EventType
 from repro.core.schema import EntrySchema
+from repro.network.gossip import GossipOverlay
+from repro.network.kernel import EventKernel
 from repro.network.message import Message, MessageKind
 from repro.network.node import AnchorNode, ClientNode, SyncReport
 from repro.network.transport import InMemoryTransport, LatencyModel
@@ -45,7 +56,10 @@ class SimulationReport:
     sync_checks: int = 0
     divergences_detected: int = 0
     failovers: int = 0
+    empty_blocks: int = 0
+    elections: int = 0
     transport: dict[str, Any] = field(default_factory=dict)
+    kernel: dict[str, Any] = field(default_factory=dict)
     final_chain_statistics: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -57,13 +71,25 @@ class SimulationReport:
             "sync_checks": self.sync_checks,
             "divergences_detected": self.divergences_detected,
             "failovers": self.failovers,
+            "empty_blocks": self.empty_blocks,
+            "elections": self.elections,
             "transport": dict(self.transport),
+            "kernel": dict(self.kernel),
             "final_chain_statistics": dict(self.final_chain_statistics),
         }
 
 
 class NetworkSimulator:
-    """Builds and drives a deployment of anchor nodes and clients."""
+    """Builds and drives a deployment of anchor nodes and clients.
+
+    With ``kernel`` the deployment runs on virtual time: chains read a
+    :class:`~repro.core.clock.SimulationClock` (idle blocks and
+    temporary-entry expiry follow simulated time), message delivery is
+    scheduled, and faults can be booked ahead via
+    :meth:`schedule_partition` / :meth:`schedule_heal` /
+    :meth:`schedule_offline`.  With ``gossip`` sealed blocks disseminate
+    hop-by-hop through the overlay instead of a direct broadcast.
+    """
 
     def __init__(
         self,
@@ -75,27 +101,38 @@ class NetworkSimulator:
         engine_factory: Optional[type[ConsensusEngine]] = None,
         latency: Optional[LatencyModel] = None,
         admins: tuple[str, ...] = (),
+        kernel: Optional[EventKernel] = None,
+        gossip: Optional[GossipOverlay] = None,
     ) -> None:
         if anchor_count < 1:
             raise ValueError("at least one anchor node is required")
         self.config = config or ChainConfig.paper_evaluation()
         self.schema = schema
-        self.transport = InMemoryTransport(latency=latency)
+        self.kernel = kernel
+        self.gossip = gossip
+        self.transport = InMemoryTransport(latency=latency, kernel=kernel)
         self.report = SimulationReport()
 
         self.anchor_ids = [f"anchor-{index}" for index in range(anchor_count)]
-        producer_id = self.anchor_ids[0]
+        self.producer_id = self.anchor_ids[0]
         self.anchors: dict[str, AnchorNode] = {}
         for anchor_id in self.anchor_ids:
-            chain = Blockchain(self.config, schema=self.schema, admins=list(admins))
+            chain = Blockchain(
+                self.config,
+                schema=self.schema,
+                admins=list(admins),
+                clock=SimulationClock(kernel) if kernel is not None else None,
+            )
+            chain.bus.subscribe(self._count_empty_block, types=(EventType.EMPTY_BLOCK,))
             engine = engine_factory() if engine_factory is not None else NullConsensus()
             node = AnchorNode(
                 anchor_id,
                 chain,
                 self.transport,
                 engine=engine,
-                is_producer=(anchor_id == producer_id),
-                producer_id=producer_id,
+                is_producer=(anchor_id == self.producer_id),
+                producer_id=self.producer_id,
+                gossip=gossip,
             )
             self.anchors[anchor_id] = node
         for node in self.anchors.values():
@@ -105,14 +142,17 @@ class NetworkSimulator:
         for client_id in client_ids or []:
             self.add_client(client_id)
 
+    def _count_empty_block(self, event: Any) -> None:
+        self.report.empty_blocks += 1
+
     # ------------------------------------------------------------------ #
     # Topology management
     # ------------------------------------------------------------------ #
 
     @property
     def producer(self) -> AnchorNode:
-        """The block-producing anchor node."""
-        return self.anchors[self.anchor_ids[0]]
+        """The current block-producing anchor node."""
+        return self.anchors[self.producer_id]
 
     def add_client(self, client_id: str) -> ClientNode:
         """Register a new light client."""
@@ -127,8 +167,11 @@ class NetworkSimulator:
 
         return RemoteLedgerClient(
             self.transport,
-            anchor_id or self.anchor_ids[0],
+            anchor_id or self.producer_id,
             scheme_name=self.config.signature_scheme,
+            fallback_anchor_ids=tuple(
+                peer for peer in self.anchor_ids if peer != (anchor_id or self.producer_id)
+            ),
         )
 
     def take_offline(self, anchor_id: str) -> None:
@@ -136,8 +179,15 @@ class NetworkSimulator:
         self.transport.set_offline(anchor_id, True)
 
     def bring_online(self, anchor_id: str) -> None:
-        """Reconnect a previously offline anchor node."""
+        """Reconnect a previously offline anchor node.
+
+        If the producer changed while the node was away, tell it — the same
+        notification it would have received had it been reachable.
+        """
         self.transport.set_offline(anchor_id, False)
+        node = self.anchors[anchor_id]
+        if node.producer_id != self.producer_id:
+            node.set_producer(self.producer_id)
 
     def corrupt_replica(self, anchor_id: str, *, note: str = "corrupted state") -> None:
         """Tamper with one node's replica so its chain state diverges.
@@ -153,6 +203,100 @@ class NetworkSimulator:
         rogue = Entry(data={"D": note, "K": "corruptor", "S": "none"}, author="corruptor", signature="x")
         chain._pending.append(rogue)  # bypass signing on purpose: this is a fault injection
         chain.seal_block()
+
+    # ------------------------------------------------------------------ #
+    # Virtual-time control (kernel deployments)
+    # ------------------------------------------------------------------ #
+
+    def _require_kernel(self) -> EventKernel:
+        if self.kernel is None:
+            raise ValueError("this operation requires a kernel-backed deployment")
+        return self.kernel
+
+    def run_until(self, time_ms: float) -> int:
+        """Advance virtual time to ``time_ms``, executing everything due."""
+        return self._require_kernel().run_until(time_ms)
+
+    def settle(self) -> int:
+        """Drain every in-flight event (gossip hops, scheduled faults)."""
+        return self._require_kernel().run()
+
+    def schedule_offline(self, anchor_id: str, at: float) -> None:
+        """Book an outage on the virtual clock."""
+        self.transport.schedule_offline(anchor_id, at)
+
+    def schedule_online(self, anchor_id: str, at: float) -> None:
+        """Book a recovery on the virtual clock (incl. producer refresh)."""
+        self._require_kernel().schedule_at(
+            at, lambda: self.bring_online(anchor_id), label=f"online:{anchor_id}"
+        )
+
+    def schedule_partition(self, group_a: list[str], group_b: list[str], at: float) -> None:
+        """Book a partition on the virtual clock."""
+        self.transport.schedule_partition(group_a, group_b, at)
+
+    def schedule_heal(self, at: float) -> None:
+        """Book the partition heal on the virtual clock."""
+        self.transport.schedule_heal(at)
+
+    # ------------------------------------------------------------------ #
+    # Producer failover (Section V-B4)
+    # ------------------------------------------------------------------ #
+
+    def elect_new_producer(self, *, exclude: tuple[str, ...] = ()) -> Optional[str]:
+        """Promote the most up-to-date reachable replica to block producer.
+
+        The candidate is chosen by :class:`~repro.consensus.election.HeadElection`
+        over the online replicas, then confirmed by a quorum vote carried as
+        ``VOTE_REQUEST`` messages over the transport — under a kernel the
+        ballots travel with real delay, so the round's outcome depends on
+        how far each replica has caught up when the ballot reaches it.
+        Returns the new producer id, or ``None`` when no quorum formed.
+        """
+        online = [
+            anchor_id
+            for anchor_id in self.anchor_ids
+            if not self.transport.is_offline(anchor_id) and anchor_id not in exclude
+        ]
+        if not online:
+            return None
+        election = HeadElection(
+            chains={anchor_id: self.anchors[anchor_id].chain for anchor_id in online}
+        )
+        candidate = election.elect(1).anchors[0]
+        quorum = Quorum(online)
+        proposal_id = f"failover-{self.report.elections}-{candidate}"
+        quorum.propose(proposal_id, "producer-failover", {"candidate": candidate})
+        votes = {candidate: True}  # the candidate backs itself
+        ballot = Message(
+            kind=MessageKind.VOTE_REQUEST,
+            sender=candidate,
+            payload={
+                "proposal_id": proposal_id,
+                "candidate": candidate,
+                "candidate_head": self.anchors[candidate].chain.head.block_number,
+            },
+        )
+        responses = self.transport.broadcast(candidate, online, ballot)
+        for peer, response in responses.items():
+            if response is None or response.is_error:
+                continue
+            votes[peer] = bool(response.payload.get("approve", False))
+        outcome = quorum.record_votes(proposal_id, votes)
+        self.report.elections += 1
+        if outcome.state.value != "accepted":
+            return None
+        self.producer_id = candidate
+        self.anchors[candidate].set_producer(candidate)
+        notice = Message(
+            kind=MessageKind.PRODUCER_CHANGE,
+            sender=candidate,
+            payload={"producer": candidate},
+        )
+        self.transport.broadcast(
+            candidate, [peer for peer in online if peer != candidate], notice
+        )
+        return candidate
 
     # ------------------------------------------------------------------ #
     # Workload operations
@@ -235,7 +379,7 @@ class NetworkSimulator:
         hashes = {
             node.chain.head.block_hash
             for anchor_id, node in self.anchors.items()
-            if anchor_id not in self.transport._offline
+            if not self.transport.is_offline(anchor_id)
         }
         return len(hashes) == 1
 
@@ -261,7 +405,14 @@ class NetworkSimulator:
         return self.finalize()
 
     def finalize(self) -> SimulationReport:
-        """Collect final statistics into the report."""
+        """Collect final statistics into the report.
+
+        On a kernel deployment every in-flight event is drained first, so
+        gossip hops and scheduled faults still pending are accounted for.
+        """
+        if self.kernel is not None:
+            self.kernel.run()
+            self.report.kernel = self.kernel.statistics()
         self.report.transport = self.transport.statistics.as_dict()
         self.report.final_chain_statistics = self.producer.chain.statistics()
         return self.report

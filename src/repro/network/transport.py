@@ -1,27 +1,41 @@
 """In-memory transport connecting clients and anchor nodes.
 
-This is the substitution for the paper's CORBA middleware: a synchronous,
-deterministic message fabric with
+This is the substitution for the paper's CORBA middleware: a deterministic
+message fabric with per-link latency, fault injection (dropped links,
+partitions, outages) and full message statistics for the evaluation harness.
 
-* per-link latency accounting (a seeded latency model, so benchmarks can
-  report simulated network delay without real sleeping),
-* fault injection — dropped links and network partitions — used by the node
-  isolation discussion of Section V-B4,
-* full message statistics for the evaluation harness.
+The transport runs in one of two modes:
 
-Handlers are plain callables ``Message -> Message | None``; the transport
-delivers synchronously, which keeps the anchor-node logic easy to reason
-about while still exercising the real protocol paths.
+* **Synchronous compatibility mode** (no kernel): handlers are invoked
+  immediately in call order, exactly like the original prototype harness.
+  Latency samples are accounted in the statistics but do not affect
+  ordering — convenient for unit tests and the parity harness, but unable
+  to reproduce the reordering/failover effects of Section V-B4.
+* **Scheduled mode** (constructed with an
+  :class:`~repro.network.kernel.EventKernel`): every latency sample becomes
+  a *delivery time*.  Requests and responses are events on the kernel's
+  virtual clock, messages genuinely arrive out of order, and deliverability
+  (offline nodes, blocked links, partitions) is evaluated *at delivery
+  time* — so a message posted during a partition whose delivery time falls
+  after the heal does arrive, and one posted milliseconds before an outage
+  can still be lost.  Faults themselves can be scheduled as kernel events
+  (:meth:`InMemoryTransport.schedule_partition` and friends).
+
+Handlers are plain callables ``Message -> Message | None``.  Request/response
+exchanges use :meth:`InMemoryTransport.send`; one-way dissemination (gossip,
+block announcements) uses :meth:`InMemoryTransport.post`, whose handler
+return value is discarded.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.core.errors import SelectiveDeletionError
 from repro.crypto.hashing import canonical_json
+from repro.network.kernel import EventHandle, EventKernel
 from repro.network.message import Message, MessageKind
 
 #: A message handler registered by a node.
@@ -34,7 +48,13 @@ class TransportError(SelectiveDeletionError):
 
 @dataclass
 class LatencyModel:
-    """Deterministic pseudo-random latency per delivered message (in ms)."""
+    """Deterministic pseudo-random latency per delivered message (in ms).
+
+    In scheduled mode the sample *is* the delivery delay; in synchronous
+    compatibility mode it is only accumulated into the statistics.  The
+    per-link hook :meth:`sample_for` lets subclasses shape latency by
+    endpoint pair (see :class:`GeoLatencyModel`).
+    """
 
     minimum_ms: float = 1.0
     maximum_ms: float = 20.0
@@ -49,16 +69,63 @@ class LatencyModel:
         """Draw one latency sample."""
         return self._random.uniform(self.minimum_ms, self.maximum_ms)
 
+    def sample_for(self, sender: str, recipient: str) -> float:
+        """Latency of one ``sender -> recipient`` message (default: :meth:`sample`)."""
+        return self.sample()
+
+
+@dataclass
+class GeoLatencyModel(LatencyModel):
+    """Latency shaped by a region assignment (geo-distributed deployments).
+
+    Nodes map to named regions; messages crossing a region boundary pay a
+    fixed ``cross_region_ms`` penalty on top of the base jitter.  Unmapped
+    nodes fall into ``default_region``.
+    """
+
+    regions: dict[str, str] = field(default_factory=dict)
+    cross_region_ms: float = 80.0
+    default_region: str = "local"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cross_region_ms < 0:
+            raise ValueError("cross_region_ms must be non-negative")
+
+    def region_of(self, node_id: str) -> str:
+        """Region a node is pinned to."""
+        return self.regions.get(node_id, self.default_region)
+
+    def sample_for(self, sender: str, recipient: str) -> float:
+        """Base jitter plus the cross-region penalty when regions differ."""
+        base = self.sample()
+        if self.region_of(sender) != self.region_of(recipient):
+            return base + self.cross_region_ms
+        return base
+
 
 @dataclass
 class TransportStatistics:
-    """Counters the evaluation harness reads after a simulation run."""
+    """Counters the evaluation harness reads after a simulation run.
+
+    ``delivery_latency_ms`` sums the per-message latency samples.  In
+    scheduled mode these are true delivery latencies (they decided *when*
+    each message arrived); in synchronous mode they remain accounting-only
+    figures that never influenced ordering — the historical behaviour, kept
+    under the historical alias ``simulated_latency_ms``.
+    """
 
     delivered: int = 0
     dropped: int = 0
     broadcasts: int = 0
+    timeouts: int = 0
     bytes_transferred: int = 0
-    simulated_latency_ms: float = 0.0
+    delivery_latency_ms: float = 0.0
+
+    @property
+    def simulated_latency_ms(self) -> float:
+        """Deprecated alias for :attr:`delivery_latency_ms`."""
+        return self.delivery_latency_ms
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view for reports."""
@@ -66,21 +133,39 @@ class TransportStatistics:
             "delivered": self.delivered,
             "dropped": self.dropped,
             "broadcasts": self.broadcasts,
+            "timeouts": self.timeouts,
             "bytes_transferred": self.bytes_transferred,
-            "simulated_latency_ms": round(self.simulated_latency_ms, 3),
+            "delivery_latency_ms": round(self.delivery_latency_ms, 3),
+            # Historical name, kept so existing report consumers keep working.
+            "simulated_latency_ms": round(self.delivery_latency_ms, 3),
         }
 
 
 class InMemoryTransport:
-    """Synchronous in-process message fabric with fault injection."""
+    """In-process message fabric with fault injection.
 
-    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+    Without a kernel the transport is synchronous (see module docstring);
+    with one, every message delivery is a scheduled virtual-time event.
+    """
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        *,
+        kernel: Optional[EventKernel] = None,
+    ) -> None:
         self.latency = latency or LatencyModel()
+        self.kernel = kernel
         self.statistics = TransportStatistics()
         self._handlers: dict[str, Handler] = {}
         self._blocked_links: set[tuple[str, str]] = set()
         self._offline: set[str] = set()
         self.message_log: list[Message] = []
+
+    @property
+    def scheduled(self) -> bool:
+        """True when deliveries run on a kernel's virtual clock."""
+        return self.kernel is not None
 
     # ------------------------------------------------------------------ #
     # Registration and fault injection
@@ -108,6 +193,10 @@ class InMemoryTransport:
         else:
             self._offline.discard(node_id)
 
+    def is_offline(self, node_id: str) -> bool:
+        """True while the node is taken off the network."""
+        return node_id in self._offline
+
     def block_link(self, first: str, second: str) -> None:
         """Drop all traffic between two nodes (both directions)."""
         self._blocked_links.add((first, second))
@@ -128,47 +217,185 @@ class InMemoryTransport:
         """Remove all link blocks."""
         self._blocked_links.clear()
 
-    def _deliverable(self, sender: str, recipient: str) -> bool:
-        if recipient not in self._handlers:
-            return False
+    def _path_open(self, sender: str, recipient: str) -> bool:
+        """Link-level reachability (ignores handler registration)."""
         if sender in self._offline or recipient in self._offline:
             return False
         if (sender, recipient) in self._blocked_links:
             return False
         return True
 
+    def _deliverable(self, sender: str, recipient: str) -> bool:
+        if recipient not in self._handlers:
+            return False
+        return self._path_open(sender, recipient)
+
+    # ------------------------------------------------------------------ #
+    # Scheduled fault injection (kernel mode)
+    # ------------------------------------------------------------------ #
+
+    def _require_kernel(self) -> EventKernel:
+        if self.kernel is None:
+            raise TransportError("scheduling faults requires a kernel-backed transport")
+        return self.kernel
+
+    def schedule_offline(self, node_id: str, at: float) -> EventHandle:
+        """Take a node off the network at virtual time ``at``."""
+        return self._require_kernel().schedule_at(
+            at, lambda: self.set_offline(node_id, True), label=f"offline:{node_id}"
+        )
+
+    def schedule_online(self, node_id: str, at: float) -> EventHandle:
+        """Bring a node back at virtual time ``at``."""
+        return self._require_kernel().schedule_at(
+            at, lambda: self.set_offline(node_id, False), label=f"online:{node_id}"
+        )
+
+    def schedule_partition(
+        self, group_a: Iterable[str], group_b: Iterable[str], at: float
+    ) -> EventHandle:
+        """Split the network into two groups at virtual time ``at``."""
+        first, second = list(group_a), list(group_b)
+        return self._require_kernel().schedule_at(
+            at, lambda: self.partition(first, second), label="partition"
+        )
+
+    def schedule_heal(self, at: float) -> EventHandle:
+        """Remove every link block at virtual time ``at``.
+
+        Messages already in flight whose delivery time falls after ``at``
+        will arrive — the partition delayed them, it did not consume them.
+        """
+        return self._require_kernel().schedule_at(at, self.heal_partition, label="heal")
+
     # ------------------------------------------------------------------ #
     # Delivery
     # ------------------------------------------------------------------ #
 
-    def send(self, recipient: str, message: Message) -> Optional[Message]:
-        """Deliver a message synchronously and return the handler's response.
+    def _account_delivery(self, message: Message, latency_ms: float) -> None:
+        self.statistics.delivered += 1
+        self.statistics.delivery_latency_ms += latency_ms
+        self.statistics.bytes_transferred += len(canonical_json(message.to_dict()).encode("utf-8"))
+        self.message_log.append(message)
+
+    def send(
+        self, recipient: str, message: Message, *, timeout_ms: Optional[float] = None
+    ) -> Optional[Message]:
+        """Deliver a message and return the handler's response.
 
         Raises :class:`TransportError` when the recipient does not exist;
         returns an error message when the link is blocked or a party is
         offline (callers can then retry against another anchor node, which is
         exactly the mitigation Section V-B4 proposes against node isolation).
+
+        In scheduled mode the exchange consumes virtual time: the request is
+        delivered at ``now + latency``, any events due earlier (other
+        messages, scheduled faults) run first, and the response travels back
+        with its own latency.  ``timeout_ms`` bounds the round trip —
+        ``None`` is returned when the (virtual) round trip exceeds it.
         """
         if recipient not in self._handlers:
             raise TransportError(f"unknown recipient {recipient!r}")
+        if self.kernel is not None:
+            return self._send_scheduled(recipient, message, timeout_ms)
+        return self._send_sync(recipient, message, timeout_ms)
+
+    def _send_sync(
+        self, recipient: str, message: Message, timeout_ms: Optional[float]
+    ) -> Optional[Message]:
         if not self._deliverable(message.sender, recipient):
             self.statistics.dropped += 1
             return message.error("transport", f"link {message.sender!r} -> {recipient!r} unavailable")
-        self.statistics.delivered += 1
-        self.statistics.simulated_latency_ms += self.latency.sample()
-        self.statistics.bytes_transferred += len(canonical_json(message.to_dict()).encode("utf-8"))
-        self.message_log.append(message)
+        request_latency = self.latency.sample_for(message.sender, recipient)
+        self._account_delivery(message, request_latency)
         response = self._handlers[recipient](message)
-        if response is not None:
-            self.statistics.delivered += 1
-            self.statistics.simulated_latency_ms += self.latency.sample()
-            self.statistics.bytes_transferred += len(
-                canonical_json(response.to_dict()).encode("utf-8")
-            )
-            self.message_log.append(response)
+        if response is None:
+            return None
+        response_latency = self.latency.sample_for(recipient, message.sender)
+        if timeout_ms is not None and request_latency + response_latency > timeout_ms:
+            self.statistics.timeouts += 1
+            return None
+        self._account_delivery(response, response_latency)
         return response
 
-    def broadcast(self, sender: str, recipients: list[str], message: Message) -> dict[str, Optional[Message]]:
+    def _send_scheduled(
+        self, recipient: str, message: Message, timeout_ms: Optional[float]
+    ) -> Optional[Message]:
+        kernel = self.kernel
+        assert kernel is not None
+        start = kernel.now
+        request_latency = self.latency.sample_for(message.sender, recipient)
+        outcome: dict[str, Any] = {}
+
+        def arrive() -> None:
+            # Deliverability is decided at *delivery* time: faults scheduled
+            # (or healed) while the message was in flight apply.
+            if not self._deliverable(message.sender, recipient):
+                self.statistics.dropped += 1
+                outcome["undeliverable"] = True
+                outcome["response"] = message.error(
+                    "transport", f"link {message.sender!r} -> {recipient!r} unavailable"
+                )
+                return
+            self._account_delivery(message, request_latency)
+            outcome["response"] = self._handlers[recipient](message)
+
+        kernel.schedule(
+            request_latency, arrive, label=f"deliver:{message.kind.value}->{recipient}"
+        )
+        kernel.run_until(start + request_latency)
+        response = outcome.get("response")
+        if outcome.get("undeliverable") or response is None:
+            return response
+        # The handler may itself have consumed virtual time (forwarding to the
+        # producer, announcing blocks); the response leaves at kernel.now.
+        response_latency = self.latency.sample_for(recipient, message.sender)
+        kernel.run_until(kernel.now + response_latency)
+        if timeout_ms is not None and kernel.now - start > timeout_ms:
+            self.statistics.timeouts += 1
+            return None
+        if not self._path_open(recipient, message.sender):
+            self.statistics.dropped += 1
+            return message.error(
+                "transport", f"response from {recipient!r} to {message.sender!r} lost"
+            )
+        self._account_delivery(response, response_latency)
+        return response
+
+    def post(self, recipient: str, message: Message) -> Optional[EventHandle]:
+        """Fire-and-forget one-way delivery; any handler response is discarded.
+
+        This is the primitive gossip and block announcements ride on.  In
+        scheduled mode the message is queued for delivery at ``now +
+        latency`` and the call returns immediately — delivery (and the
+        deliverability check) happens when the kernel reaches that instant,
+        so posts genuinely arrive out of order and may outlive partitions.
+        In synchronous mode the message is delivered inline.
+        """
+        if self.kernel is None:
+            if recipient not in self._handlers or not self._deliverable(message.sender, recipient):
+                self.statistics.dropped += 1
+                return None
+            self._account_delivery(message, self.latency.sample_for(message.sender, recipient))
+            self._handlers[recipient](message)
+            return None
+
+        latency = self.latency.sample_for(message.sender, recipient)
+
+        def arrive() -> None:
+            if not self._deliverable(message.sender, recipient):
+                self.statistics.dropped += 1
+                return
+            self._account_delivery(message, latency)
+            self._handlers[recipient](message)
+
+        return self.kernel.schedule(
+            latency, arrive, label=f"post:{message.kind.value}->{recipient}"
+        )
+
+    def broadcast(
+        self, sender: str, recipients: list[str], message: Message
+    ) -> dict[str, Optional[Message]]:
         """Send the same message to several recipients, collecting responses."""
         self.statistics.broadcasts += 1
         responses: dict[str, Optional[Message]] = {}
@@ -181,6 +408,17 @@ class InMemoryTransport:
                 responses[recipient] = message.error("transport", f"unknown recipient {recipient!r}")
                 self.statistics.dropped += 1
         return responses
+
+    def publish(self, sender: str, recipients: list[str], message: Message) -> int:
+        """One-way fan-out via :meth:`post`; returns the number of posts."""
+        self.statistics.broadcasts += 1
+        posted = 0
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.post(recipient, message)
+            posted += 1
+        return posted
 
     def messages_of_kind(self, kind: MessageKind) -> list[Message]:
         """Filter the message log by kind (used in tests and reports)."""

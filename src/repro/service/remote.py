@@ -16,7 +16,7 @@ API is designed around (and that the test suite pins).
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.core.entry import EntryReference
 from repro.network.message import Message
@@ -45,17 +45,25 @@ class RemoteLedgerClient(LedgerClient):
         *,
         scheme_name: str = "simplified",
         query_anchor_id: Optional[str] = None,
+        fallback_anchor_ids: Sequence[str] = (),
     ) -> None:
         """Bind to ``anchor_id`` for submissions (and ``query_anchor_id`` for
         lookups/statistics, default the same node).
 
         ``scheme_name`` must match the chain configuration of the anchors so
-        client-side signatures verify server-side.
+        client-side signatures verify server-side.  ``fallback_anchor_ids``
+        are tried in order when the bound anchor answers with a transport
+        error — the client-side failover the paper proposes against node
+        isolation (Section V-B4).
         """
         self.transport = transport
         self.anchor_id = anchor_id
         self.query_anchor_id = query_anchor_id or anchor_id
+        self.fallback_anchor_ids = tuple(fallback_anchor_ids)
         self.scheme_name = scheme_name
+        #: Failovers performed (an anchor answered with an error and a
+        #: fallback was tried), for reports.
+        self.failovers = 0
         #: One signing client per author, created on first use.
         self._clients: dict[str, ClientNode] = {}
 
@@ -78,6 +86,24 @@ class RemoteLedgerClient(LedgerClient):
             )
         return response
 
+    def _with_failover(self, operation: Callable[[str], Message]) -> Message:
+        """Run ``operation`` against the bound anchor, falling over on error.
+
+        ``operation`` receives an anchor id and returns the response message;
+        the first non-error response wins.  When every anchor errors, the
+        last error response is returned for the caller to surface.
+        """
+        response: Optional[Message] = None
+        for target in (self.anchor_id, *self.fallback_anchor_ids):
+            response = operation(target)
+            if not response.is_error:
+                return response
+            self.failovers += 1
+        assert response is not None
+        # Every target failed; one failover count per *extra* target tried.
+        self.failovers -= 1
+        return response
+
     # ------------------------------------------------------------------ #
     # LedgerClient protocol
     # ------------------------------------------------------------------ #
@@ -92,12 +118,14 @@ class RemoteLedgerClient(LedgerClient):
         seal: bool = True,
     ) -> SubmitReceipt:
         """Sign the record as ``author`` and submit it to the bound anchor."""
-        response = self._client_for(author).submit_entry(
-            self.anchor_id,
-            dict(data),
-            expires_at_time=expires_at_time,
-            expires_at_block=expires_at_block,
-            defer_seal=not seal,
+        response = self._with_failover(
+            lambda target: self._client_for(author).submit_entry(
+                target,
+                dict(data),
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+                defer_seal=not seal,
+            )
         )
         if response.is_error:
             return SubmitReceipt(
@@ -124,8 +152,10 @@ class RemoteLedgerClient(LedgerClient):
         reason: str = "",
     ) -> DeletionReceipt:
         """Sign and submit a deletion request; the anchor seals it."""
-        response = self._client_for(author).request_deletion(
-            self.anchor_id, as_reference(target), reason=reason
+        response = self._with_failover(
+            lambda target_anchor: self._client_for(author).request_deletion(
+                target_anchor, as_reference(target), reason=reason
+            )
         )
         if response.is_error:
             return DeletionReceipt(
@@ -167,12 +197,15 @@ class RemoteLedgerClient(LedgerClient):
 
     def seal(self) -> Optional[int]:
         """Ask the producer to seal the queued batch."""
-        response = self._require_ok(self._driver().request_seal(self.anchor_id), "seal")
+        response = self._require_ok(
+            self._with_failover(lambda target: self._driver().request_seal(target)), "seal"
+        )
         return response.payload.get("block_number")
 
     def tick(self, ticks: int = 1) -> bool:
         """Advance the producer's clock; idle blocks replicate automatically."""
         response = self._require_ok(
-            self._driver().idle_tick(self.anchor_id, ticks=ticks), "tick"
+            self._with_failover(lambda target: self._driver().idle_tick(target, ticks=ticks)),
+            "tick",
         )
         return bool(response.payload.get("appended"))

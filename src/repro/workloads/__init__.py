@@ -1,6 +1,13 @@
 """Workload generators for the scenarios the paper motivates."""
 
-from repro.workloads.base import EventKind, ReplayResult, Workload, WorkloadEvent, replay
+from repro.workloads.base import (
+    EventKind,
+    ReplayResult,
+    Workload,
+    WorkloadEvent,
+    arrival_schedule,
+    replay,
+)
 from repro.workloads.coins import CoinTransferWorkload, Transfer
 from repro.workloads.gdpr import ErasureCase, GdprErasureWorkload
 from repro.workloads.logging import (
@@ -17,6 +24,7 @@ __all__ = [
     "ReplayResult",
     "Workload",
     "WorkloadEvent",
+    "arrival_schedule",
     "replay",
     "CoinTransferWorkload",
     "Transfer",

@@ -42,6 +42,36 @@ class WorkloadEvent:
     idle_ticks: int = 0
 
 
+def arrival_schedule(
+    workload: "Workload",
+    *,
+    mean_gap_ms: float,
+    jitter: float = 0.5,
+    ms_per_tick: float = 1.0,
+) -> list[tuple[float, WorkloadEvent]]:
+    """Assign deterministic virtual arrival times to a workload's events.
+
+    Gaps between consecutive events are drawn uniformly from
+    ``mean_gap_ms * [1 - jitter, 1 + jitter]`` using the workload's own seed,
+    and IDLE events additionally advance the timeline by their tick count —
+    so a scenario can hand the resulting ``(at_ms, event)`` pairs straight to
+    the kernel and idle periods become genuine stretches of virtual time.
+    """
+    if mean_gap_ms <= 0:
+        raise ValueError("mean_gap_ms must be positive")
+    if not 0 <= jitter < 1:
+        raise ValueError("jitter must lie in [0, 1)")
+    rng = workload.fresh_rng()
+    timeline: list[tuple[float, WorkloadEvent]] = []
+    at = 0.0
+    for event in workload:
+        at += rng.uniform(mean_gap_ms * (1 - jitter), mean_gap_ms * (1 + jitter))
+        if event.kind is EventKind.IDLE:
+            at += event.idle_ticks * ms_per_tick
+        timeline.append((round(at, 6), event))
+    return timeline
+
+
 class Workload:
     """Base class: a seeded, finite stream of events."""
 

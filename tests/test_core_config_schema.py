@@ -243,3 +243,41 @@ class TestClocks:
 
     def test_system_clock_returns_int(self):
         assert isinstance(SystemClock().now(), int)
+
+    def test_every_clock_supports_passive_peek(self):
+        assert FixedClock(4).peek() == 4
+        assert isinstance(SystemClock().peek(), int)
+        clock = LogicalClock(start=2)
+        assert clock.peek() == 2
+        assert clock.peek() == 2  # peeking never advances
+
+    def test_passive_chain_reads_do_not_age_the_clock(self):
+        """Regression: LogicalClock advances on every now(), so any passive
+        read (statistics, rendering, idle checks, sequence views) routed
+        through now() would silently age the chain — earlier idle blocks,
+        earlier temporary-entry expiry — without a single block sealed."""
+        from repro.analysis.report import render_chain, render_statistics
+        from repro.core import Blockchain, ChainConfig, EntryReference
+
+        chain = Blockchain(ChainConfig(sequence_length=3, empty_block_interval=50))
+        chain.add_entry_block({"D": "a", "K": "A", "S": "s"}, "A")
+        before = chain.clock.peek()
+        chain.statistics()
+        chain.sequences()
+        chain.sequence_statistics()
+        chain.find_entry(EntryReference(1, 1))
+        chain.entry_count()
+        chain.byte_size()
+        render_chain(chain)
+        render_statistics(chain)
+        assert chain.idle_tick() is None  # idle check itself is passive
+        assert chain.clock.peek() == before
+
+    def test_consecutive_seals_get_consecutive_timestamps(self):
+        from repro.core import Blockchain, ChainConfig
+
+        chain = Blockchain(ChainConfig(sequence_length=4))
+        first = chain.add_entry_block({"D": "a", "K": "A", "S": "s"}, "A")
+        second = chain.add_entry_block({"D": "b", "K": "A", "S": "s"}, "A")
+        # Only block creation consumes clock ticks (genesis took tick 0).
+        assert (first.timestamp, second.timestamp) == (1, 2)

@@ -1,0 +1,171 @@
+"""Tests of the discrete-event kernel and the simulation clock."""
+
+import pytest
+
+from repro.core import Blockchain, ChainConfig, SimulationClock
+from repro.network.kernel import EventKernel, KernelError
+
+
+class TestEventKernel:
+    def test_events_execute_in_time_order_not_insertion_order(self):
+        kernel = EventKernel(seed=1)
+        order = []
+        kernel.schedule_at(30.0, lambda: order.append("late"))
+        kernel.schedule_at(10.0, lambda: order.append("early"))
+        kernel.schedule_at(20.0, lambda: order.append("middle"))
+        kernel.run()
+        assert order == ["early", "middle", "late"]
+        assert kernel.now == 30.0
+
+    def test_same_seed_replays_identical_order(self):
+        def trace(seed):
+            kernel = EventKernel(seed=seed)
+            order = []
+            for name in ("a", "b", "c", "d"):
+                kernel.schedule_at(5.0, lambda name=name: order.append(name))
+            kernel.run()
+            return order
+
+        assert trace(3) == trace(3)
+        # Across many same-instant events, the seeded tie-break is not just
+        # insertion order for every seed.
+        orders = {tuple(trace(seed)) for seed in range(8)}
+        assert len(orders) > 1
+
+    def test_run_until_executes_due_events_and_advances_now(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(10.0, lambda: fired.append(10))
+        kernel.schedule_at(50.0, lambda: fired.append(50))
+        executed = kernel.run_until(25.0)
+        assert executed == 1
+        assert fired == [10]
+        assert kernel.now == 25.0
+        kernel.run()
+        assert fired == [10, 50]
+
+    def test_scheduling_into_the_past_rejected(self):
+        kernel = EventKernel()
+        kernel.run_until(100.0)
+        with pytest.raises(KernelError):
+            kernel.schedule_at(50.0, lambda: None)
+        with pytest.raises(KernelError):
+            kernel.schedule(-1.0, lambda: None)
+
+    def test_cancelled_event_never_fires(self):
+        kernel = EventKernel()
+        fired = []
+        handle = kernel.schedule_at(10.0, lambda: fired.append("x"))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert kernel.events_cancelled == 1
+
+    def test_handlers_can_schedule_further_events(self):
+        kernel = EventKernel()
+        fired = []
+
+        def first():
+            fired.append("first")
+            kernel.schedule(5.0, lambda: fired.append("chained"))
+
+        kernel.schedule_at(10.0, first)
+        kernel.run()
+        assert fired == ["first", "chained"]
+        assert kernel.now == 15.0
+
+    def test_nested_run_until_inside_handler(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(12.0, lambda: fired.append("in-between"))
+
+        def handler():
+            fired.append("outer")
+            kernel.run_until(kernel.now + 10.0)  # virtual round trip
+
+        kernel.schedule_at(10.0, handler)
+        kernel.run_until(10.0)
+        # The nested advance processed the event at 12.0 and moved time on.
+        assert fired == ["outer", "in-between"]
+        assert kernel.now == 20.0
+
+    def test_every_recurs_until_bound_and_cancel_stops_it(self):
+        kernel = EventKernel()
+        ticks = []
+        kernel.every(10.0, lambda: ticks.append(kernel.now), until=45.0)
+        kernel.run()
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+        kernel2 = EventKernel()
+        count = []
+        handle = kernel2.every(10.0, lambda: count.append(1))
+        kernel2.run_until(25.0)
+        handle.cancel()
+        kernel2.run_until(100.0)
+        assert len(count) == 2
+
+    def test_every_with_bound_before_first_firing_never_fires(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.every(100.0, lambda: fired.append(1), until=50.0)
+        kernel.run()
+        assert fired == []
+
+    def test_statistics_counters(self):
+        kernel = EventKernel(seed=5)
+        kernel.schedule_at(1.0, lambda: None)
+        kernel.run()
+        stats = kernel.statistics()
+        assert stats["events_scheduled"] == 1
+        assert stats["events_processed"] == 1
+        assert stats["virtual_time_ms"] == 1.0
+        assert stats["seed"] == 5
+
+
+class TestSimulationClock:
+    def test_reading_never_advances(self):
+        kernel = EventKernel()
+        clock = SimulationClock(kernel)
+        kernel.run_until(123.0)
+        assert clock.peek() == 123
+        assert clock.now() == 123
+        assert clock.peek() == 123  # reads are passive; the kernel owns time
+
+    def test_ms_per_tick_scaling(self):
+        kernel = EventKernel()
+        clock = SimulationClock(kernel, ms_per_tick=100.0, start=5)
+        kernel.run_until(250.0)
+        assert clock.peek() == 7  # 5 + 250 // 100
+        with pytest.raises(ValueError):
+            SimulationClock(kernel, ms_per_tick=0)
+
+    def test_advance_fast_forwards_the_kernel_and_fires_events(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(30.0, lambda: fired.append("due"))
+        clock = SimulationClock(kernel)
+        clock.advance(50)
+        assert kernel.now == 50.0
+        assert fired == ["due"]
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_idle_blocks_emerge_from_simulated_time(self):
+        kernel = EventKernel()
+        config = ChainConfig(sequence_length=3, empty_block_interval=40)
+        chain = Blockchain(config, clock=SimulationClock(kernel))
+        assert chain.idle_tick() is None  # no simulated time has passed
+        chain.clock.advance(39)
+        assert chain.idle_tick() is None  # interval not yet elapsed
+        chain.clock.advance(1)
+        block = chain.idle_tick()
+        assert block is not None and block.entry_count == 0
+        # The empty block is stamped with kernel time, not a manual tick.
+        assert block.timestamp == 40
+
+    def test_replicas_share_one_timeline(self):
+        kernel = EventKernel()
+        first = Blockchain(ChainConfig(), clock=SimulationClock(kernel))
+        second = Blockchain(ChainConfig(), clock=SimulationClock(kernel))
+        kernel.run_until(77.0)
+        assert first.clock.peek() == second.clock.peek() == 77

@@ -7,6 +7,7 @@ from repro.core.errors import SynchronisationError
 from repro.network import (
     AnchorNode,
     ClientNode,
+    EventKernel,
     GossipProtocol,
     GossipTopology,
     InMemoryTransport,
@@ -17,6 +18,7 @@ from repro.network import (
     RpcClient,
     RpcError,
     RpcServer,
+    RpcTimeout,
     TransportError,
     expose_chain_api,
 )
@@ -174,7 +176,8 @@ class TestAnchorAndClientNodes:
 
     def test_unknown_message_kind_rejected(self):
         transport, nodes, ids = self.build_network()
-        response = transport.send(ids[0], Message(kind=MessageKind.VOTE_REQUEST, sender="x"))
+        # RPC_RESULT is a response kind no anchor node ever handles.
+        response = transport.send(ids[0], Message(kind=MessageKind.RPC_RESULT, sender="x"))
         assert response.is_error
 
 
@@ -215,6 +218,34 @@ class TestRpc:
         response = transport.send("svc", Message(kind=MessageKind.ACK, sender="x"))
         assert response.is_error
 
+    def test_unknown_service_raises_rpc_error(self):
+        transport = InMemoryTransport()
+        client = RpcClient("caller", "nowhere", transport)
+        with pytest.raises(RpcError, match="unknown service"):
+            client.ping()
+
+    def test_round_trip_exceeding_timeout_raises_rpc_timeout(self):
+        transport = InMemoryTransport(LatencyModel(minimum_ms=30, maximum_ms=40, seed=2))
+        RpcServer("svc", transport, methods={"ping": lambda: "pong"})
+        slow = RpcClient("caller", "svc", transport, timeout_ms=10.0)
+        with pytest.raises(RpcTimeout):
+            slow.ping()
+        assert transport.statistics.timeouts == 1
+        generous = RpcClient("caller", "svc", transport, timeout_ms=10_000.0)
+        assert generous.ping() == "pong"
+
+    def test_rpc_on_kernel_transport_consumes_virtual_time(self):
+        kernel = EventKernel(seed=9)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=25, maximum_ms=25, seed=9), kernel=kernel
+        )
+        RpcServer("svc", transport, methods={"ping": lambda: "pong"})
+        client = RpcClient("caller", "svc", transport)
+        assert client.ping() == "pong"
+        assert kernel.now == 50.0  # request leg + response leg
+        with pytest.raises(RpcTimeout):
+            RpcClient("caller", "svc", transport, timeout_ms=49.0).ping()
+
 
 class TestGossip:
     def test_full_coverage_on_clique(self):
@@ -254,6 +285,23 @@ class TestGossip:
             GossipProtocol(topology, fanout=0)
         with pytest.raises(KeyError):
             GossipProtocol(topology).disseminate("ghost")
+
+    def test_full_coverage_ring_vs_random_regular(self):
+        nodes = [f"n{i}" for i in range(16)]
+        # Fan-out covers every ring neighbour and (for this seed) the random
+        # graph too, so both disseminations reach all nodes deterministically.
+        ring = GossipProtocol(GossipTopology.ring(nodes), fanout=4, seed=1)
+        random_regular = GossipProtocol(
+            GossipTopology.random_regular(nodes, degree=5, seed=1), fanout=4, seed=1
+        )
+        ring_rounds = ring.rounds_to_full_coverage("n0")
+        rr_rounds = random_regular.rounds_to_full_coverage("n0")
+        # Both topologies are connected, so both reach everyone ...
+        assert ring_rounds is not None and rr_rounds is not None
+        # ... but the ring frontier grows by at most 2 nodes per round while
+        # the random graph expands multiplicatively.
+        assert ring_rounds >= len(nodes) // 2
+        assert rr_rounds < ring_rounds
 
 
 class TestSimulator:

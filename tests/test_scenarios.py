@@ -1,0 +1,284 @@
+"""Scenario-engine tests: determinism pin, scheduled faults, gossip, failover."""
+
+import json
+
+import pytest
+
+from repro.core import Blockchain, ChainConfig, SimulationClock
+from repro.network import (
+    AnchorNode,
+    EventKernel,
+    GossipOverlay,
+    GossipTopology,
+    InMemoryTransport,
+    LatencyModel,
+    Message,
+    MessageKind,
+    NetworkSimulator,
+    ScenarioError,
+    run_scenario,
+    scenario_names,
+)
+
+
+class TestDeterminismPin:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_scenario_and_seed_yield_byte_identical_reports(self, name):
+        first = run_scenario(name, seed=13, smoke=True)
+        second = run_scenario(name, seed=13, smoke=True)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_different_seeds_differ_somewhere(self):
+        # Not a guarantee for every scenario, but the latency-driven ones
+        # must move: delivery times shape the transport statistics.
+        first = run_scenario("partition-and-heal", seed=1, smoke=True)
+        second = run_scenario("partition-and-heal", seed=2, smoke=True)
+        assert json.dumps(first, sort_keys=True) != json.dumps(second, sort_keys=True)
+
+    def test_unknown_scenario_and_parameters_rejected(self):
+        with pytest.raises(ScenarioError):
+            run_scenario("no-such-scenario")
+        with pytest.raises(ScenarioError):
+            run_scenario("bursty-traffic", smoke=True, no_such_param=1)
+
+
+class TestScheduledFaults:
+    def test_message_sent_before_heal_arrives_after_it(self):
+        """The acceptance pin: a kernel-scheduled partition *delays* delivery.
+
+        The partition is active when the message is posted, but its delivery
+        time falls after the scheduled heal — so the message arrives, after
+        the heal, instead of being counted as dropped at send time.
+        """
+        kernel = EventKernel(seed=3)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=60.0, maximum_ms=60.0, seed=3), kernel=kernel
+        )
+        arrivals = []
+        transport.register("b", lambda m: arrivals.append((kernel.now, m)) and None)
+        transport.partition(["a"], ["b"])
+        transport.schedule_heal(50.0)
+        transport.post("b", Message(kind=MessageKind.ACK, sender="a"))  # sent at t=0
+        assert arrivals == []  # nothing delivered synchronously
+        kernel.run()
+        assert len(arrivals) == 1
+        arrived_at, _ = arrivals[0]
+        assert arrived_at == 60.0  # after the heal at t=50
+        assert transport.statistics.dropped == 0
+
+    def test_message_delivered_during_partition_is_dropped(self):
+        kernel = EventKernel(seed=3)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=60.0, maximum_ms=60.0, seed=3), kernel=kernel
+        )
+        arrivals = []
+        transport.register("b", lambda m: arrivals.append(m) and None)
+        transport.partition(["a"], ["b"])
+        transport.schedule_heal(90.0)  # heal only after the delivery time
+        transport.post("b", Message(kind=MessageKind.ACK, sender="a"))
+        kernel.run()
+        assert arrivals == []
+        assert transport.statistics.dropped == 1
+
+    def test_scheduled_outage_takes_effect_at_its_virtual_time(self):
+        kernel = EventKernel(seed=4)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=5.0, maximum_ms=5.0, seed=4), kernel=kernel
+        )
+        transport.register("b", lambda m: m.reply(MessageKind.ACK, "b"))
+        transport.schedule_offline("b", 100.0)
+        transport.schedule_online("b", 200.0)
+        assert not transport.send("b", Message(kind=MessageKind.ACK, sender="a")).is_error
+        kernel.run_until(150.0)
+        assert transport.send("b", Message(kind=MessageKind.ACK, sender="a")).is_error
+        kernel.run_until(250.0)
+        assert not transport.send("b", Message(kind=MessageKind.ACK, sender="a")).is_error
+
+    def test_fault_scheduling_requires_kernel(self):
+        from repro.network import TransportError
+
+        transport = InMemoryTransport()
+        with pytest.raises(TransportError):
+            transport.schedule_heal(10.0)
+
+
+class TestScenarioOutcomes:
+    def test_partition_and_heal_converges_and_shows_the_delay(self):
+        result = run_scenario("partition-and-heal", seed=7, smoke=True)
+        assert result["replicas_identical"] is True
+        # Mid-partition the cut-off replicas demonstrably trail the producer.
+        heads_at_heal = result["heads_at_heal"]
+        producer_head = heads_at_heal["anchor-0"]
+        assert any(head < producer_head for node, head in heads_at_heal.items() if node != "anchor-0")
+        final_heads = set(result["heads"].values())
+        assert len(final_heads) == 1
+
+    def test_failover_storm_elects_a_new_producer_and_recovers(self):
+        result = run_scenario("failover-storm", seed=7, smoke=True)
+        assert result["report"]["elections"] == 1
+        assert result["final_producer"] != result["first_producer"]
+        assert result["entries_accepted"] > 0
+        assert result["replicas_identical"] is True
+
+    def test_bursty_traffic_produces_empty_blocks_from_idle_time(self):
+        result = run_scenario("bursty-traffic", seed=7, smoke=True)
+        assert result["report"]["empty_blocks"] > 0
+        assert result["replicas_identical"] is True
+
+    def test_node_churn_converges_after_catch_up(self):
+        result = run_scenario("node-churn", seed=7, smoke=True)
+        assert result["replicas_identical"] is True
+
+    def test_geo_latency_profiles_pay_for_distance(self):
+        result = run_scenario("geo-latency-profiles", seed=7, smoke=True)
+        profiles = result["profiles"]
+        latencies = [
+            profiles[name]["delivery_latency_ms"]
+            for name in ("single-region", "two-regions", "three-continents")
+        ]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_gossip_bounds_producer_egress_and_finishes_faster(self):
+        result = run_scenario("gossip-vs-broadcast", seed=7)
+        modes = result["modes"]
+        assert modes["gossip"]["replicas_identical"] is True
+        assert modes["broadcast"]["replicas_identical"] is True
+        # Gossip pays redundant hops in *total* bytes, but the producer's own
+        # egress is bounded by the fan-out instead of the quorum size, and
+        # dissemination completes in less virtual time.
+        assert (
+            modes["gossip"]["producer_announcements"]
+            < modes["broadcast"]["producer_announcements"]
+        )
+        assert modes["gossip"]["virtual_time_ms"] < modes["broadcast"]["virtual_time_ms"]
+
+
+class TestGossipDissemination:
+    def build_kernel_deployment(self, *, anchors, topology, fanout=2, seed=5):
+        kernel = EventKernel(seed=seed)
+        ids = [f"anchor-{i}" for i in range(anchors)]
+        if topology == "ring":
+            graph = GossipTopology.ring(ids)
+        else:
+            graph = GossipTopology.random_regular(ids, degree=3, seed=seed)
+        simulator = NetworkSimulator(
+            anchor_count=anchors,
+            config=ChainConfig(sequence_length=3),
+            latency=LatencyModel(minimum_ms=10.0, maximum_ms=10.0, seed=seed),
+            kernel=kernel,
+            gossip=GossipOverlay(graph, fanout=fanout, seed=seed),
+        )
+        simulator.add_client("ALPHA")
+        return kernel, simulator
+
+    def dissemination_time(self, topology) -> float:
+        kernel, simulator = self.build_kernel_deployment(anchors=8, topology=topology)
+        simulator.submit_entry(
+            "ALPHA",
+            {"D": "Login ALPHA", "K": "ALPHA", "S": "sig_ALPHA"},
+            anchor_id=simulator.producer_id,
+        )
+        kernel.run()
+        assert simulator.replicas_identical(), f"{topology} overlay did not converge"
+        return kernel.now
+
+    def test_ring_overlay_disseminates_slower_than_random_regular(self):
+        # The kernel-level analogue of rounds_to_full_coverage: virtual time
+        # until every replica holds the announced block.
+        assert self.dissemination_time("ring") > self.dissemination_time("random-regular")
+
+    def test_out_of_order_announcements_are_buffered_and_applied(self):
+        transport = InMemoryTransport()
+        config = ChainConfig(sequence_length=5)
+        producer_chain = Blockchain(config)
+        producer = AnchorNode("p", producer_chain, transport, is_producer=True)
+        overlay = GossipOverlay(GossipTopology.fully_connected(["p", "r"]), fanout=1)
+        replica = AnchorNode("r", Blockchain(config), transport, producer_id="p", gossip=overlay)
+        # No peer list for the producer: its seal announcements go nowhere,
+        # so this test controls the delivery order by hand.
+        producer.connect(["p"])
+        replica.connect(["p", "r"])
+
+        first = producer_chain.add_entry_block({"D": "a", "K": "A", "S": "s"}, "A")
+        second = producer_chain.add_entry_block({"D": "b", "K": "A", "S": "s"}, "A")
+
+        def announce(block):
+            return Message(
+                kind=MessageKind.BLOCK_ANNOUNCE,
+                sender="p",
+                payload={
+                    "block": block.to_dict(),
+                    "gossip": {"item": block.block_hash, "hops": 0},
+                },
+            )
+
+        # Deliver out of order: block 2 first (buffered), then block 1.
+        assert replica.handle_message(announce(second)) is None
+        assert replica.chain.head.block_number == 0  # gap: nothing applied yet
+        replica.handle_message(announce(first))
+        assert replica.chain.head.block_number == second.block_number
+        # Duplicates are recognised and not re-ingested.
+        assert replica._ingest_announced_block(second) is False
+
+    def test_rejected_gossiped_block_is_not_reforwarded(self):
+        """Regression: a block the engine rejects must be remembered as seen,
+        or two neighbours would re-gossip it at each other forever."""
+        from repro.consensus.base import ConsensusDecision, NullConsensus
+
+        class RejectAll(NullConsensus):
+            def validate_block(self, block, head):
+                return ConsensusDecision(accepted=False, reason="rejected by policy")
+
+        transport = InMemoryTransport()
+        config = ChainConfig(sequence_length=5)
+        producer_chain = Blockchain(config)
+        producer = AnchorNode("p", producer_chain, transport, is_producer=True)
+        producer.connect(["p"])
+        overlay = GossipOverlay(GossipTopology.fully_connected(["p", "r"]), fanout=1)
+        replica = AnchorNode(
+            "r",
+            Blockchain(config),
+            transport,
+            engine=RejectAll(),
+            producer_id="p",
+            gossip=overlay,
+        )
+        replica.connect(["p", "r"])
+        block = producer_chain.add_entry_block({"D": "a", "K": "A", "S": "s"}, "A")
+        assert replica._ingest_announced_block(block) is True
+        assert replica.rejected_blocks and replica.chain.head.block_number == 0
+        # A re-announcement of the same rejected block is a known item now.
+        assert replica._ingest_announced_block(block) is False
+        assert len(replica.rejected_blocks) == 1
+
+
+class TestArrivalSchedule:
+    def test_deterministic_monotonic_and_idle_aware(self):
+        from repro.workloads import EventKind, arrival_schedule
+        from repro.workloads.logging import LoginAuditWorkload
+
+        workload = LoginAuditWorkload(num_events=15, num_users=3, idle_rate=0.3, seed=9)
+        first = arrival_schedule(workload, mean_gap_ms=20.0)
+        second = arrival_schedule(workload, mean_gap_ms=20.0)
+        assert first == second  # pure function of the workload seed
+        times = [at for at, _ in first]
+        assert times == sorted(times) and len(times) == 15
+        previous = 0.0
+        saw_idle = False
+        for at, event in first:
+            if event.kind is EventKind.IDLE:
+                saw_idle = True
+                # Idle periods stretch the timeline by their tick count.
+                assert at - previous >= event.idle_ticks * 1.0
+            previous = at
+        assert saw_idle
+
+    def test_parameter_validation(self):
+        from repro.workloads import arrival_schedule
+        from repro.workloads.logging import LoginAuditWorkload
+
+        workload = LoginAuditWorkload(num_events=3, num_users=2, seed=1)
+        with pytest.raises(ValueError):
+            arrival_schedule(workload, mean_gap_ms=0)
+        with pytest.raises(ValueError):
+            arrival_schedule(workload, mean_gap_ms=10.0, jitter=1.0)
