@@ -1,0 +1,256 @@
+"""Cost shape of replica synchronisation — bootstrap vs. replay, rounds vs. fan-out.
+
+Two questions decide whether the sync subsystem scales:
+
+1. **Bootstrap cost vs. chain age.**  A replica that rejoins behind a
+   genesis-marker shift adopts a wire snapshot.  Because retention bounds
+   the living chain (and the wire format carries only a bounded audit
+   tail), the bytes on the wire must stay *flat* no matter how old the
+   chain is — while the alternative, replaying every block ever created
+   from genesis, grows *linearly* with age.  This is the paper's
+   data-reduction claim applied to replica recovery: the summarizing chain
+   keeps bootstrap cost proportional to the living state, not to history.
+2. **Anti-entropy convergence vs. fan-out.**  Stale replicas converge when
+   digest beacons reach them; per round, each node posts to ``fanout``
+   overlay neighbours.  More fan-out means more beacons per round, so the
+   rounds-to-convergence must not grow as fan-out rises (and should fall
+   across the sweep's spread).
+
+Both measurements are deterministic (virtual time, seeded randomness); the
+trajectory is written to ``BENCH_sync.json``.  Sizes can be overridden for
+smoke runs::
+
+    BENCH_SYNC_AGES=20,40 BENCH_SYNC_FANOUTS=1,2 \
+        pytest benchmarks/bench_sync.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core import Blockchain, ChainConfig
+from repro.network import (
+    AnchorNode,
+    CatchUpStatus,
+    EventKernel,
+    GossipOverlay,
+    GossipTopology,
+    InMemoryTransport,
+    LatencyModel,
+    NetworkSimulator,
+)
+from repro.network.message import reset_message_counter
+
+DEFAULT_AGES = (40, 80, 160, 320)
+DEFAULT_FANOUTS = (1, 2, 4)
+#: Full-size runs refresh the committed trajectory; overridden sizes (CI
+#: smoke, local experiments) write a gitignored .local file instead.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sync.json"
+LOCAL_OUTPUT_PATH = OUTPUT_PATH.with_suffix(".local.json")
+
+SEED = 7
+ANCHORS = 9
+OVERLAY_DEGREE = 4
+STRAGGLERS = 3
+ROUND_MS = 50.0
+MAX_ROUNDS = 80
+
+
+def _env_sizes(name: str, default: tuple[int, ...]) -> list[int]:
+    raw = os.environ.get(name, "")
+    if raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    return list(default)
+
+
+def login(index: int) -> dict[str, str]:
+    return {"D": f"Login ALPHA #{index}", "K": "ALPHA", "S": "sig_ALPHA"}
+
+
+# --------------------------------------------------------------------- #
+# Part 1: bootstrap bytes vs. chain age
+# --------------------------------------------------------------------- #
+
+
+#: Entries live this many blocks before summarisation drops them.  The
+#: paper's reduction claim needs temporary data: permanent entries are
+#: carried forward into every summary block forever, so only an expiring
+#: workload bounds the *living state* (and with it the snapshot) while the
+#: chain keeps aging.
+ENTRY_TTL_BLOCKS = 12
+
+
+def age_chain(config: ChainConfig, events: int) -> Blockchain:
+    chain = Blockchain(config)
+    for index in range(events):
+        chain.add_entry_block(
+            login(index),
+            "ALPHA",
+            expires_at_block=chain.head.block_number + ENTRY_TTL_BLOCKS,
+        )
+    return chain
+
+
+def measure_bootstrap(age: int) -> dict[str, float]:
+    """Wire bytes to converge a fresh replica on a chain of ``age`` events."""
+    reset_message_counter()
+    # The producer aged its summarizing chain away from the network; the
+    # joiner holds nothing but a genesis block.
+    producer_chain = age_chain(ChainConfig.paper_evaluation(), age)
+    transport = InMemoryTransport()
+    producer = AnchorNode("producer", producer_chain, transport, is_producer=True)
+    joiner = AnchorNode(
+        "joiner",
+        Blockchain(ChainConfig.paper_evaluation()),
+        transport,
+        producer_id="producer",
+    )
+    producer.connect(["producer", "joiner"])
+    joiner.connect(["producer", "joiner"])
+    result = joiner.synchronize("producer")
+    assert result.status is CatchUpStatus.BOOTSTRAPPED, result
+    assert joiner.chain.head.block_hash == producer_chain.head.block_hash
+    snapshot_wire_bytes = transport.statistics.bytes_transferred
+
+    # The counterfactual: a chain that never summarised serves the same
+    # workload's history; replaying it from genesis moves every block ever
+    # created over the wire.  byte_size() is exactly that payload.
+    replay_bytes = age_chain(ChainConfig(sequence_length=3), age).byte_size()
+    return {
+        "living_blocks": float(producer_chain.length),
+        "total_blocks_created": float(producer_chain.total_blocks_created),
+        "snapshot_wire_bytes": float(snapshot_wire_bytes),
+        "replay_bytes": float(replay_bytes),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Part 2: anti-entropy rounds vs. fan-out
+# --------------------------------------------------------------------- #
+
+
+def measure_convergence_rounds(fanout: int) -> dict[str, float]:
+    """Digest rounds until ``STRAGGLERS`` rejoined replicas converge."""
+    reset_message_counter()
+    kernel = EventKernel(seed=SEED)
+    ids = [f"anchor-{index}" for index in range(ANCHORS)]
+    simulator = NetworkSimulator(
+        anchor_count=ANCHORS,
+        config=ChainConfig(sequence_length=3),
+        latency=LatencyModel(minimum_ms=5.0, maximum_ms=5.0, seed=SEED),
+        kernel=kernel,
+        gossip=GossipOverlay(
+            GossipTopology.random_regular(ids, degree=OVERLAY_DEGREE, seed=SEED),
+            fanout=fanout,
+            seed=SEED,
+        ),
+    )
+    simulator.add_client("ALPHA")
+    stragglers = ids[-STRAGGLERS:]
+    for node_id in stragglers:
+        simulator.take_offline(node_id)
+    for index in range(10):
+        simulator.submit_entry("ALPHA", login(index), anchor_id=simulator.producer_id)
+    kernel.run()  # drain the live gossip among the online replicas
+    for node_id in stragglers:
+        simulator.bring_online(node_id)
+    # Recovery is left entirely to the digest rounds.
+    service = simulator.enable_anti_entropy(interval_ms=ROUND_MS)
+    while service.converged_at_round is None and service.rounds < MAX_ROUNDS:
+        kernel.run_until(kernel.now + ROUND_MS)
+    service.stop()
+    kernel.run()
+    assert service.converged_at_round is not None, (
+        f"anti-entropy did not converge within {MAX_ROUNDS} rounds at fanout {fanout}"
+    )
+    # converged_at_round is the first round that *started* converged, so the
+    # pulls happened during the rounds before it.
+    return {
+        "rounds_to_convergence": float(service.converged_at_round - 1),
+        "digests_posted": float(service.digests_posted),
+        "catch_ups": float(service.statistics()["nodes"]["catch_ups"]),
+    }
+
+
+# --------------------------------------------------------------------- #
+# The benchmark
+# --------------------------------------------------------------------- #
+
+
+def test_sync_scaling_bootstrap_flat_replay_linear():
+    ages = _env_sizes("BENCH_SYNC_AGES", DEFAULT_AGES)
+    fanouts = _env_sizes("BENCH_SYNC_FANOUTS", DEFAULT_FANOUTS)
+    bootstrap = {age: measure_bootstrap(age) for age in ages}
+    convergence = {fanout: measure_convergence_rounds(fanout) for fanout in fanouts}
+
+    default_sizes = ages == list(DEFAULT_AGES) and fanouts == list(DEFAULT_FANOUTS)
+    output_path = OUTPUT_PATH if default_sizes else LOCAL_OUTPUT_PATH
+    output_path.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_sync",
+                "config": {
+                    "seed": SEED,
+                    "anchors": ANCHORS,
+                    "overlay_degree": OVERLAY_DEGREE,
+                    "stragglers": STRAGGLERS,
+                    "round_ms": ROUND_MS,
+                },
+                "ages": ages,
+                "bootstrap": {str(age): bootstrap[age] for age in ages},
+                "fanouts": fanouts,
+                "convergence": {str(fanout): convergence[fanout] for fanout in fanouts},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    print()
+    print(f"{'age':>6} {'living':>7} {'created':>8} {'snapshot B':>11} {'replay B':>10}")
+    for age in ages:
+        row = bootstrap[age]
+        print(
+            f"{age:>6} {row['living_blocks']:>7.0f} {row['total_blocks_created']:>8.0f} "
+            f"{row['snapshot_wire_bytes']:>11.0f} {row['replay_bytes']:>10.0f}"
+        )
+    print(f"{'fanout':>6} {'rounds':>7} {'digests':>8}")
+    for fanout in fanouts:
+        row = convergence[fanout]
+        print(f"{fanout:>6} {row['rounds_to_convergence']:>7.0f} {row['digests_posted']:>8.0f}")
+
+    smallest, largest = ages[0], ages[-1]
+    if largest / smallest >= 4:
+        # Retention bounds the living chain, so the snapshot on the wire
+        # must stay flat across the age spread ...
+        snapshot_growth = (
+            bootstrap[largest]["snapshot_wire_bytes"]
+            / bootstrap[smallest]["snapshot_wire_bytes"]
+        )
+        assert snapshot_growth < 3.0, (
+            f"snapshot bootstrap grew {snapshot_growth:.2f}x across a "
+            f"{largest // smallest}x age spread — not flat"
+        )
+        # ... while full-history replay tracks the age almost proportionally.
+        replay_growth = (
+            bootstrap[largest]["replay_bytes"] / bootstrap[smallest]["replay_bytes"]
+        )
+        spread = largest / smallest
+        assert replay_growth > spread / 2, (
+            f"replay bytes grew only {replay_growth:.2f}x across a "
+            f"{spread:.0f}x age spread — expected ~linear"
+        )
+        assert replay_growth > snapshot_growth
+
+    # More beacons per round must never slow convergence down, and across
+    # the sweep's spread they must speed it up.
+    lowest, highest = fanouts[0], fanouts[-1]
+    if highest > lowest:
+        assert (
+            convergence[highest]["rounds_to_convergence"]
+            <= convergence[lowest]["rounds_to_convergence"]
+        )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Verify that local markdown links in the docs resolve to real files.
+
+Scans the given markdown files (default: ``docs/*.md`` and ``README.md``)
+for ``[text](target)`` links, resolves each non-URL target relative to the
+file that contains it, and fails when a target does not exist — so the
+architecture handbook's source links cannot silently rot as the tree moves.
+
+Usage::
+
+    python scripts/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: [text](target) or [text](target "Title") — the target is captured either
+#: way, so a link with a title cannot silently escape the check.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Targets that are not local paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(markdown: Path):
+    for line_number, line in enumerate(markdown.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            yield line_number, target.split("#", 1)[0]
+
+
+def check(files: list[Path]) -> int:
+    broken: list[str] = []
+    checked = 0
+    for markdown in files:
+        try:
+            shown = markdown.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = markdown
+        for line_number, target in iter_links(markdown):
+            checked += 1
+            resolved = (markdown.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(f"{shown}:{line_number}: {target}")
+    for entry in broken:
+        print(f"BROKEN {entry}", file=sys.stderr)
+    print(f"{len(files)} files, {checked} local links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    return check(files)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,15 +3,41 @@
 Replaces the paper's CORBA client–server prototype with an in-process
 simulation (see DESIGN.md for the substitution rationale).  The stack runs
 on a deterministic discrete-event kernel (:mod:`repro.network.kernel`):
-latency decides *when* messages arrive, faults are scheduled events, and the
-named-scenario catalogue (:mod:`repro.network.scenarios`) packages
-reproducible fault experiments.
+latency decides *when* messages arrive, faults (partitions, outages, seeded
+loss) are scheduled events, and the named-scenario catalogue
+(:mod:`repro.network.scenarios`) packages reproducible fault experiments.
+``docs/ARCHITECTURE.md`` walks through the whole layer.
+
+Protocol surface
+----------------
+All traffic is :class:`~repro.network.message.Message` objects; the
+authoritative message-kind taxonomy (sender, receiver, payload schema and
+reply kind for every :class:`~repro.network.message.MessageKind`) lives in
+the :mod:`repro.network.message` module docstring.  The kinds group into
+five families:
+
+* **client requests** — ``SUBMIT_ENTRY``, ``SUBMIT_DELETION``,
+  ``SEAL_REQUEST``, ``IDLE_TICK``, ``FIND_ENTRY``, ``QUERY_STATISTICS``;
+* **replication** — ``BLOCK_ANNOUNCE`` (direct or gossip-hopped),
+  ``SUMMARY_HASH`` (Section IV-B synchronisation check);
+* **replica synchronisation** (:mod:`repro.sync`) — ``SYNC_REQUEST``
+  incremental catch-up, ``SYNC_DIGEST`` anti-entropy beacons,
+  ``SNAPSHOT_REQUEST``/``SNAPSHOT_CHUNK`` wire snapshot bootstrap;
+* **failover** — ``VOTE_REQUEST``/``VOTE_RESPONSE``, ``PRODUCER_CHANGE``;
+* **framing** — ``RPC_CALL``/``RPC_RESULT``, ``ACK``, ``ERROR``,
+  ``SYNC_RESPONSE``.
 """
 
 from repro.network.gossip import GossipOverlay, GossipProtocol, GossipResult, GossipTopology
 from repro.network.kernel import EventHandle, EventKernel, KernelError
 from repro.network.message import Message, MessageKind
-from repro.network.node import AnchorNode, ClientNode, SyncReport
+from repro.network.node import (
+    AnchorNode,
+    CatchUpResult,
+    CatchUpStatus,
+    ClientNode,
+    SyncReport,
+)
 from repro.network.rpc import RpcClient, RpcError, RpcServer, RpcTimeout, expose_chain_api
 from repro.network.scenarios import (
     Scenario,
@@ -40,6 +66,8 @@ __all__ = [
     "Message",
     "MessageKind",
     "AnchorNode",
+    "CatchUpResult",
+    "CatchUpStatus",
     "ClientNode",
     "SyncReport",
     "RpcClient",

@@ -2,10 +2,51 @@
 
 The paper's prototype was a CORBA client–server system; the reproduction
 replaces the middleware with explicit message objects over an in-memory
-transport (see DESIGN.md, substitution table).  Message kinds cover the three
+transport (see DESIGN.md, substitution table).  Message kinds cover the
 interactions the concept needs: submitting entries / deletion requests,
-announcing sealed blocks, and comparing locally computed summary-block hashes
-as a synchronisation check (Section IV-B).
+announcing sealed blocks, comparing locally computed summary-block hashes as
+a synchronisation check (Section IV-B), incremental catch-up and snapshot
+bootstrap for replicas that fell behind (Section V-B4), and the periodic
+anti-entropy digests that keep sparse gossip overlays converged.
+
+Message-kind taxonomy
+---------------------
+Every protocol message is one of the kinds below.  "reply" names the kind
+the receiver answers with; one-way kinds (gossip hops, digests) have no
+reply — their handler return value is discarded by ``InMemoryTransport.post``.
+
+===================== ================= =============== ============================================== =================
+kind                  sender            receiver        payload schema                                 reply
+===================== ================= =============== ============================================== =================
+``SUBMIT_ENTRY``      client            any anchor      ``{entry, defer_seal?}``                       ``ACK``/``ERROR``
+``SUBMIT_DELETION``   client            any anchor      ``{entry}`` (a deletion-request entry)         ``ACK``/``ERROR``
+``SEAL_REQUEST``      client            producer        ``{}``                                         ``ACK``
+``IDLE_TICK``         client            producer        ``{ticks}``                                    ``ACK``
+``FIND_ENTRY``        client            any anchor      ``{reference}``                                ``SYNC_RESPONSE``
+``QUERY_STATISTICS``  client            any anchor      ``{}``                                         ``SYNC_RESPONSE``
+``BLOCK_ANNOUNCE``    producer/relay    peers           ``{block, gossip?: {item, hops}}``             ``ACK`` or one-way
+``SUMMARY_HASH``      anchor            peers           ``{block_number, block_hash}``                 ``SYNC_RESPONSE``
+``SYNC_REQUEST``      anchor/client     anchor          ``{from_block}``                               ``SYNC_RESPONSE``
+``SYNC_RESPONSE``     anchor            requester       kind-specific result fields                    —
+``SYNC_DIGEST``       anchor            overlay targets ``{head, head_hash, genesis_marker, round}``   one-way
+``SNAPSHOT_REQUEST``  stale anchor      peer anchor     ``{chunk, chunk_size}``                        ``SNAPSHOT_CHUNK``
+``SNAPSHOT_CHUNK``    peer anchor       stale anchor    ``{manifest, chunk, data}``                    —
+``VOTE_REQUEST``      candidate         online anchors  ``{proposal_id, candidate, candidate_head}``   ``VOTE_RESPONSE``
+``VOTE_RESPONSE``     anchor            candidate       ``{proposal_id, approve, head}``               —
+``PRODUCER_CHANGE``   new producer      online anchors  ``{producer}``                                 ``ACK``
+``RPC_CALL``          rpc client        rpc server      ``{service, method, args, kwargs}``            ``RPC_RESULT``
+``RPC_RESULT``        rpc server        rpc client      ``{value}`` or ``{error}``                     —
+``ACK``               handler           requester       request-specific receipt fields                —
+``ERROR``             handler/transport requester       ``{reason}``                                   —
+===================== ================= =============== ============================================== =================
+
+The snapshot kinds implement the wire bootstrap of :mod:`repro.sync.bootstrap`:
+a replica whose catch-up gap spans a marker shift pulls its peer's serialised
+snapshot in bounded chunks (``manifest`` carries total size/chunk count, the
+head hash the snapshot captures, and a digest the assembled payload must
+match).  ``SYNC_DIGEST`` is the anti-entropy beacon of
+:mod:`repro.sync.antientropy`: receivers that learn they are behind pull via
+``SYNC_REQUEST`` or, across a marker shift, the snapshot kinds.
 """
 
 from __future__ import annotations
@@ -32,7 +73,7 @@ def reset_message_counter(start: int = 1) -> None:
 
 
 class MessageKind(str, Enum):
-    """All message types of the anchor-node protocol."""
+    """All message types of the anchor-node protocol (see module taxonomy)."""
 
     SUBMIT_ENTRY = "submit_entry"
     SUBMIT_DELETION = "submit_deletion"
@@ -44,6 +85,9 @@ class MessageKind(str, Enum):
     SUMMARY_HASH = "summary_hash"
     SYNC_REQUEST = "sync_request"
     SYNC_RESPONSE = "sync_response"
+    SYNC_DIGEST = "sync_digest"
+    SNAPSHOT_REQUEST = "snapshot_request"
+    SNAPSHOT_CHUNK = "snapshot_chunk"
     VOTE_REQUEST = "vote_request"
     VOTE_RESPONSE = "vote_response"
     PRODUCER_CHANGE = "producer_change"

@@ -13,19 +13,33 @@ synchronisation check of Section IV-B.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Any, Optional
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.core.block import Block
 from repro.core.chain import Blockchain
+from repro.core.errors import (
+    ChainIntegrityError,
+    SelectiveDeletionError,
+    SynchronisationError,
+)
 from repro.core.entry import Entry, EntryKind, EntryReference
-from repro.core.errors import SelectiveDeletionError, SynchronisationError
 from repro.core.events import ChainEvent, EventType
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import new_scheme, sign_entry
 from repro.network.gossip import GossipOverlay
 from repro.network.message import Message, MessageKind
 from repro.network.transport import InMemoryTransport
+from repro.sync.bootstrap import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_RETRIES,
+    BootstrapError,
+    BootstrapReport,
+    SnapshotChunkCache,
+    fetch_snapshot,
+)
+from repro.storage.snapshot import chain_from_payload
 
 
 @dataclass
@@ -45,6 +59,48 @@ class SyncReport:
     def in_sync(self) -> bool:
         """True when every reachable peer agrees."""
         return not self.diverged_peers
+
+
+class CatchUpStatus(str, Enum):
+    """Why a synchronisation attempt ended the way it did."""
+
+    #: Missed blocks were replayed; the replica now matches the peer's head.
+    ADOPTED = "adopted"
+    #: The peer had nothing newer; the replica was already up to date.
+    ALREADY_CURRENT = "already-current"
+    #: The peer never answered (offline, partitioned, or every retry lost).
+    PEER_UNREACHABLE = "peer-unreachable"
+    #: The gap spans a genesis-marker shift: the peer no longer serves the
+    #: blocks this replica would need next — only a snapshot bootstrap
+    #: (:meth:`AnchorNode.bootstrap_from`) can converge it.
+    SNAPSHOT_REQUIRED = "snapshot-required"
+    #: The consensus engine rejected a replayed block; replay stopped there.
+    BLOCK_REJECTED = "block-rejected"
+    #: :meth:`AnchorNode.synchronize` adopted a peer snapshot over the wire.
+    BOOTSTRAPPED = "bootstrapped"
+
+
+@dataclass(frozen=True)
+class CatchUpResult:
+    """Outcome of :meth:`AnchorNode.catch_up` / :meth:`AnchorNode.synchronize`.
+
+    ``adopted`` counts the normal blocks replayed incrementally; ``detail``
+    explains declines (which blocks are no longer served, which peer did not
+    answer, why a block was rejected).
+    """
+
+    status: CatchUpStatus
+    adopted: int = 0
+    detail: str = ""
+
+    @property
+    def declined(self) -> bool:
+        """True when the replica could not (fully) converge on the peer."""
+        return self.status in (
+            CatchUpStatus.PEER_UNREACHABLE,
+            CatchUpStatus.SNAPSHOT_REQUIRED,
+            CatchUpStatus.BLOCK_REJECTED,
+        )
 
 
 class AnchorNode:
@@ -82,6 +138,32 @@ class AnchorNode:
         #: (two neighbours re-gossiping a rejected block at each other would
         #: otherwise ping-pong forever).
         self._seen_announcements: set[str] = set()
+        #: Serving side of the snapshot-bootstrap protocol: the serialised
+        #: chain is cached per head, so streaming N chunks (plus their
+        #: retransmissions) serialises once.
+        self._snapshot_cache = SnapshotChunkCache(chain)
+        #: Re-entrancy guard: while a digest-triggered pull is running, the
+        #: nested virtual-time advances may deliver further digests to this
+        #: very node — they must not start a second, overlapping pull.
+        self._sync_in_progress = False
+        #: Most advanced ``(peer, head)`` digest absorbed by the guard; the
+        #: pull loop chases it once the running pull completes, so a pull
+        #: from a lagging peer cannot strand the replica behind a peer whose
+        #: digest happened to arrive mid-pull.
+        self._deferred_digest: Optional[tuple[str, int]] = None
+        #: Replica-synchronisation counters, aggregated into simulation
+        #: reports by :class:`repro.sync.antientropy.AntiEntropyService`.
+        self.sync_stats: dict[str, int] = {
+            "digests_received": 0,
+            "digests_behind": 0,
+            "digests_diverged": 0,
+            "catch_ups": 0,
+            "blocks_replayed": 0,
+            "bootstraps": 0,
+            "bootstrap_bytes": 0,
+            "bootstrap_retransmits": 0,
+            "chunks_served": 0,
+        }
         if self.engine is not None and chain.block_finalizer is None:
             chain.block_finalizer = self.engine.prepare_block
         # The producer announces every block its chain seals — no matter
@@ -121,6 +203,8 @@ class AnchorNode:
             MessageKind.BLOCK_ANNOUNCE: self._handle_block_announce,
             MessageKind.SUMMARY_HASH: self._handle_summary_hash,
             MessageKind.SYNC_REQUEST: self._handle_sync_request,
+            MessageKind.SYNC_DIGEST: self._handle_sync_digest,
+            MessageKind.SNAPSHOT_REQUEST: self._handle_snapshot_request,
             MessageKind.VOTE_REQUEST: self._handle_vote_request,
             MessageKind.PRODUCER_CHANGE: self._handle_producer_change,
         }
@@ -314,6 +398,21 @@ class AnchorNode:
 
     def _handle_sync_request(self, message: Message) -> Message:
         from_number = int(message.payload.get("from_block", self.chain.genesis_marker))
+        if message.payload.get("contiguous") and from_number < self.chain.genesis_marker:
+            # A catch-up needs the blocks *right after* the requester's head,
+            # and those were physically deleted by a marker shift.  Decline
+            # without shipping the living chain — the requester would have
+            # to discard it and bootstrap anyway, so serialising it here
+            # would just double the bytes of every wire bootstrap.
+            return message.reply(
+                MessageKind.SYNC_RESPONSE,
+                self.node_id,
+                {
+                    "blocks": [],
+                    "genesis_marker": self.chain.genesis_marker,
+                    "snapshot_required": True,
+                },
+            )
         blocks = [
             block.to_dict()
             for block in self.chain.blocks
@@ -324,6 +423,58 @@ class AnchorNode:
             self.node_id,
             {"blocks": blocks, "genesis_marker": self.chain.genesis_marker},
         )
+
+    def _handle_snapshot_request(self, message: Message) -> Message:
+        """Serve one bounded chunk of the serialised local replica.
+
+        Every chunk carries the snapshot manifest, so the puller can detect
+        a head that moved mid-transfer (the manifest's head hash changes)
+        and restart instead of assembling chunks of different snapshots.
+        """
+        chunk_size = int(message.payload.get("chunk_size", DEFAULT_CHUNK_SIZE))
+        index = int(message.payload.get("chunk", 0))
+        try:
+            manifest = self._snapshot_cache.manifest(chunk_size)
+            data = self._snapshot_cache.chunk(index, chunk_size)
+        except BootstrapError as exc:
+            return message.error(self.node_id, str(exc))
+        self.sync_stats["chunks_served"] += 1
+        return message.reply(
+            MessageKind.SNAPSHOT_CHUNK,
+            self.node_id,
+            {"manifest": manifest.to_dict(), "chunk": index, "data": data},
+        )
+
+    def _handle_sync_digest(self, message: Message) -> None:
+        """One-way anti-entropy beacon: pull from the sender when behind.
+
+        The pull itself (catch-up, possibly a full snapshot bootstrap) runs
+        inside this delivery event, consuming virtual time on a scheduled
+        transport; digests arriving while it runs are absorbed by the
+        re-entrancy guard.
+        """
+        self.sync_stats["digests_received"] += 1
+        peer_head = int(message.payload.get("head", -1))
+        if peer_head < self.chain.head.block_number:
+            return None
+        if peer_head == self.chain.head.block_number:
+            peer_hash = str(message.payload.get("head_hash", ""))
+            if peer_hash and peer_hash != self.chain.head.block_hash:
+                # Same height, different block: a fork.  Replaying cannot
+                # reconcile it (the peer's blocks do not link to our head) —
+                # the paper treats divergence as a detected failure
+                # (Section IV-B), so surface it in the counters instead of
+                # attempting a pull that must fail.
+                self.sync_stats["digests_diverged"] += 1
+            return None
+        if self._sync_in_progress:
+            best = self._deferred_digest
+            if best is None or peer_head > best[1]:
+                self._deferred_digest = (message.sender, peer_head)
+            return None
+        self.sync_stats["digests_behind"] += 1
+        self.synchronize(message.sender)
+        return None
 
     # ------------------------------------------------------------------ #
     # Producer-side operations
@@ -381,41 +532,242 @@ class AnchorNode:
                 return block
         return None
 
-    def catch_up(self, peer_id: str) -> int:
+    def catch_up(self, peer_id: str) -> CatchUpResult:
         """Fetch missed blocks from a peer and replay them locally.
 
         A node that was offline (Section V-B4's isolation discussion) asks a
         reachable anchor node for everything after its own head, applies the
         missed *normal* blocks in order and recomputes the summary blocks
         itself — the same path as live replication, so the caught-up replica
-        ends byte-identical to the peer.  Returns the number of blocks
-        adopted; ``0`` means the node was already up to date or is so far
-        behind that it needs a snapshot bootstrap instead.
+        ends byte-identical to the peer.
+
+        Return contract: a :class:`CatchUpResult` whose ``status`` states
+        the outcome —
+
+        * ``ADOPTED`` — ``adopted`` blocks were replayed; the replica now
+          matches the peer's head,
+        * ``ALREADY_CURRENT`` — the peer had nothing newer,
+        * ``PEER_UNREACHABLE`` — the peer never answered (``detail`` carries
+          the transport's reason); retry against another anchor,
+        * ``SNAPSHOT_REQUIRED`` — the gap spans a genesis-marker shift: the
+          peer physically deleted the blocks this replica needs next
+          (``detail`` names the missing range); call
+          :meth:`bootstrap_from` (or :meth:`synchronize`, which does both),
+        * ``BLOCK_REJECTED`` — the consensus engine refused a replayed block
+          (``detail`` carries its reason); the block is recorded in
+          :attr:`rejected_blocks`.
         """
+        self.sync_stats["catch_ups"] += 1
         request = Message(
             kind=MessageKind.SYNC_REQUEST,
             sender=self.node_id,
-            payload={"from_block": self.chain.head.block_number + 1},
+            payload={"from_block": self.chain.head.block_number + 1, "contiguous": True},
         )
         response = self.transport.send(peer_id, request)
         if response is None or response.is_error:
-            return 0
+            reason = "" if response is None else str(response.payload.get("reason", ""))
+            return CatchUpResult(
+                status=CatchUpStatus.PEER_UNREACHABLE,
+                detail=reason or f"no response from {peer_id!r}",
+            )
+        peer_marker = int(response.payload.get("genesis_marker", 0))
+        if response.payload.get("snapshot_required"):
+            # The peer declined without shipping any blocks: our next-needed
+            # block lies before its marker and was physically deleted.
+            return CatchUpResult(
+                status=CatchUpStatus.SNAPSHOT_REQUIRED,
+                detail=(
+                    f"blocks {self.chain.next_block_number}..{peer_marker - 1} "
+                    f"are no longer served (peer's genesis marker shifted to "
+                    f"{peer_marker}); adopt a snapshot via bootstrap_from"
+                ),
+            )
         adopted = 0
+        status = CatchUpStatus.ALREADY_CURRENT
+        detail = ""
         for payload in response.payload.get("blocks", []):
             block = Block.from_dict(payload)
             if block.is_summary:
                 continue  # summary blocks are recomputed locally (Section IV-B)
-            if block.block_number != self.chain.next_block_number:
-                break  # gap too large: a snapshot bootstrap is required
+            if block.block_number > self.chain.next_block_number:
+                # Defence in depth for peers that did ship blocks despite a
+                # marker past our head: the needed predecessors are gone.
+                status = CatchUpStatus.SNAPSHOT_REQUIRED
+                detail = (
+                    f"blocks {self.chain.next_block_number}..{block.block_number - 1} "
+                    f"are no longer served (peer's genesis marker shifted to "
+                    f"{peer_marker}); adopt a snapshot via bootstrap_from"
+                )
+                break
+            if block.block_number < self.chain.next_block_number:
+                continue  # already part of the local replica
             verdict = self.engine.validate_block(block, self.chain.head)
             if not verdict.accepted:
                 self.rejected_blocks.append((block, verdict.reason))
+                status = CatchUpStatus.BLOCK_REJECTED
+                detail = verdict.reason
                 break
-            self.chain.receive_block(block)
+            try:
+                self.chain.receive_block(block)
+            except ChainIntegrityError as exc:
+                # A same-height fork: the peer's block does not link to our
+                # head.  Forks are *detected* (sync_check), never silently
+                # replayed over — stop and report instead of crashing the
+                # caller (which may be a kernel event handler).
+                self.rejected_blocks.append((block, str(exc)))
+                status = CatchUpStatus.BLOCK_REJECTED
+                detail = str(exc)
+                break
             adopted += 1
+        if adopted and status is CatchUpStatus.ALREADY_CURRENT:
+            status = CatchUpStatus.ADOPTED
+        self.sync_stats["blocks_replayed"] += adopted
         # Gossiped announcements that overtook the gap can now be applied.
         self._drain_block_buffer()
-        return adopted
+        return CatchUpResult(status=status, adopted=adopted, detail=detail)
+
+    def bootstrap_from(
+        self,
+        peer_id: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> BootstrapReport:
+        """Adopt a peer's snapshot over the wire (Section V-B4 status quo).
+
+        Pulls the peer's serialised chain in bounded, retransmitted chunks
+        (:func:`repro.sync.bootstrap.fetch_snapshot`), rebuilds the chain,
+        verifies the hash chain, the rebuilt index *and* that the rebuilt
+        head hash matches the manifest the peer advertised, then replaces
+        the local replica wholesale via :meth:`adopt_chain`.  On failure the
+        local replica is untouched and the report carries the reason.
+        """
+        report = fetch_snapshot(
+            self.transport,
+            self.node_id,
+            peer_id,
+            chunk_size=chunk_size,
+            max_retries=max_retries,
+        )
+        if not report.succeeded:
+            return report
+        assert report.payload is not None and report.manifest is not None
+        try:
+            chain = chain_from_payload(
+                report.payload,
+                clock=self.chain.clock,
+                schema=self.chain.schema,
+                authorizer=self.chain.authorizer,
+                cohesion_checker=self.chain.cohesion_checker,
+                event_bus=self.chain.bus,
+            )
+        except SelectiveDeletionError as exc:
+            report.succeeded = False
+            report.reason = f"snapshot rejected: {exc}"
+            return report
+        if chain.head.block_hash != report.manifest.head_hash:
+            report.succeeded = False
+            report.reason = "rebuilt head hash does not match the peer's manifest"
+            return report
+        self.adopt_chain(chain)
+        self.sync_stats["bootstraps"] += 1
+        self.sync_stats["bootstrap_bytes"] += report.payload_bytes
+        self.sync_stats["bootstrap_retransmits"] += report.retransmits
+        return report
+
+    def synchronize(
+        self,
+        peer_id: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> CatchUpResult:
+        """Converge on ``peer_id`` whatever the gap: catch up, else bootstrap.
+
+        Incremental catch-up first; if that declines because the gap spans a
+        marker shift, pull the peer's snapshot and finish with a top-off
+        catch-up for blocks the peer sealed while the chunks streamed.  This
+        is the pull path anti-entropy digests trigger.  Digests absorbed
+        while the pull runs are not wasted: the most advanced one is chased
+        afterwards, so the call converges on the best peer it *heard of*,
+        not merely the one that happened to trigger it.
+        """
+        result = self._synchronize_once(
+            peer_id, chunk_size=chunk_size, max_retries=max_retries
+        )
+        # Chase digests deferred by the re-entrancy guard.  Each iteration
+        # consumes one deferred digest and only re-pulls while its sender
+        # claims a strictly newer head, so the loop ends once the backlog
+        # of mid-pull arrivals is worked off.
+        while True:
+            deferred = self._deferred_digest
+            self._deferred_digest = None
+            if deferred is None or deferred[1] <= self.chain.head.block_number:
+                return result
+            result = self._synchronize_once(
+                deferred[0], chunk_size=chunk_size, max_retries=max_retries
+            )
+
+    def _synchronize_once(
+        self,
+        peer_id: str,
+        *,
+        chunk_size: int,
+        max_retries: int,
+    ) -> CatchUpResult:
+        """One guarded catch-up-or-bootstrap pull against a single peer."""
+        self._sync_in_progress = True
+        try:
+            result = self.catch_up(peer_id)
+            if result.status is not CatchUpStatus.SNAPSHOT_REQUIRED:
+                return result
+            report = self.bootstrap_from(
+                peer_id, chunk_size=chunk_size, max_retries=max_retries
+            )
+            if not report.succeeded:
+                return CatchUpResult(
+                    status=CatchUpStatus.SNAPSHOT_REQUIRED,
+                    detail=f"bootstrap failed: {report.reason}",
+                )
+            top_off = self.catch_up(peer_id)
+            assert report.manifest is not None
+            return CatchUpResult(
+                status=CatchUpStatus.BOOTSTRAPPED,
+                adopted=top_off.adopted,
+                detail=(
+                    f"adopted snapshot at head {report.manifest.head_number} "
+                    f"({report.chunks_fetched} chunks, {report.retransmits} retransmits)"
+                ),
+            )
+        finally:
+            self._sync_in_progress = False
+
+    def adopt_chain(self, chain: Blockchain) -> None:
+        """Replace the local replica wholesale (snapshot bootstrap).
+
+        Re-wires everything the constructor wired against the old chain: the
+        consensus finalizer hook, the seal-announcement subscription
+        (producers only) and the snapshot chunk cache.  Buffered out-of-order
+        announcements the new head already covers are discarded; newer ones
+        are drained against the adopted chain.
+        """
+        if self._announce_subscription is not None:
+            self.chain.bus.unsubscribe(self._announce_subscription)
+            self._announce_subscription = None
+        self.chain = chain
+        if self.engine is not None and chain.block_finalizer is None:
+            chain.block_finalizer = self.engine.prepare_block
+        if self.is_producer:
+            self._announce_subscription = chain.bus.subscribe(
+                self._on_block_sealed, types=(EventType.BLOCK_SEALED,)
+            )
+        self._snapshot_cache = SnapshotChunkCache(chain)
+        self._block_buffer = {
+            number: block
+            for number, block in self._block_buffer.items()
+            if number >= chain.next_block_number
+        }
+        self._drain_block_buffer()
 
     def sync_check(self, *, raise_on_divergence: bool = False) -> SyncReport:
         """Compare the latest locally computed summary block with all peers."""

@@ -33,6 +33,9 @@ Catalogue
   latency penalties.
 * ``gossip-vs-broadcast``   — message cost of overlay gossip versus full
   broadcast for the same workload.
+* ``replica-bootstrap``     — a node rejoins behind a genesis-marker shift on
+  a lossy network; anti-entropy digests trigger a wire snapshot bootstrap
+  and the deployment converges without any scenario-level fallback.
 """
 
 from __future__ import annotations
@@ -168,15 +171,15 @@ def _deployment(
     fanout: int = 2,
     latency: Optional[LatencyModel] = None,
     config: Optional[ChainConfig] = None,
+    loss_rate: float = 0.0,
 ) -> NetworkSimulator:
     """A kernel-backed deployment with independently seeded randomness.
 
-    The default chain config keeps every block (no retention limit): fault
-    scenarios rely on isolated replicas *catching up* over the wire, which
-    is only possible while the missed normal blocks are still living —
-    after a marker shift the gap needs a snapshot bootstrap instead.  The
-    marker-shift economics are exercised by ``bursty-traffic`` (which runs
-    the paper's evaluation config) and the core test suite.
+    The default chain config keeps every block (no retention limit): most
+    fault scenarios rely on isolated replicas *catching up* over the wire,
+    which is only possible while the missed normal blocks are still living.
+    ``replica-bootstrap`` runs the paper's evaluation config instead, so a
+    marker shift opens a gap that only the snapshot bootstrap can close.
     """
     kernel = EventKernel(seed=seed)
     return NetworkSimulator(
@@ -185,6 +188,8 @@ def _deployment(
         latency=latency or LatencyModel(seed=seed + 1),
         kernel=kernel,
         gossip=_overlay(overlay, anchors, fanout=fanout, seed=seed + 2),
+        loss_rate=loss_rate,
+        loss_seed=seed + 3,
     )
 
 
@@ -350,15 +355,15 @@ def _partition_and_heal(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             ),
             label=f"entry-{index}",
         )
-    kernel.run_until(float(params["heal_at_ms"]) + 200.0)
     # Gossip hops dropped *during* the partition are gone — and even a
     # near-side replica may sit on buffered out-of-order blocks whose
     # predecessors were lost because the overlay routed them through the
-    # far side.  Every replica with a gap recovers the way an isolated node
-    # does (Section V-B4): by catching up from a reachable anchor.
-    for node_id in simulator.anchor_ids:
-        if node_id != simulator.producer_id:
-            simulator.anchors[node_id].catch_up(simulator.producer_id)
+    # far side.  No scripted recovery: the periodic anti-entropy digests
+    # alone detect the gaps after the heal and pull the missing blocks
+    # (repro.sync.antientropy replacing the old scenario-level catch-up).
+    horizon = float(params["heal_at_ms"]) + 400.0
+    simulator.enable_anti_entropy(interval_ms=90.0, until=horizon)
+    kernel.run_until(horizon)
     report = simulator.finalize()
     return {
         "report": report.as_dict(),
@@ -523,3 +528,83 @@ def _gossip_vs_broadcast(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             "replicas_identical": simulator.replicas_identical(),
         }
     return {"modes": modes}
+
+
+@scenario(
+    "replica-bootstrap",
+    "a node rejoins behind a marker shift under loss; anti-entropy triggers a wire snapshot bootstrap",
+    defaults={
+        "anchors": 4,
+        "events": 24,
+        "entry_gap_ms": 40.0,
+        "offline_at_ms": 60.0,
+        "rejoin_at_ms": 1100.0,
+        "settle_ms": 700.0,
+        "loss_rate": 0.05,
+        "chunk_size": 2048,
+        "anti_entropy_interval_ms": 120.0,
+        "fanout": 2,
+    },
+    smoke={"events": 12, "rejoin_at_ms": 600.0, "settle_ms": 600.0},
+)
+def _replica_bootstrap(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """The full replica lifecycle: join late, bootstrap, stay converged.
+
+    The straggler goes offline almost immediately and stays away while the
+    producer seals enough blocks to complete summarisation cycles and shift
+    the genesis marker — so on rejoin, incremental catch-up is structurally
+    impossible (the blocks it needs were physically deleted).  No recovery
+    is scripted: the periodic anti-entropy digests alone must detect the
+    stale replica, and its pull must escalate to the chunked snapshot
+    bootstrap — across a transport that randomly loses messages, forcing
+    chunk retransmissions.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=ChainConfig.paper_evaluation(),
+        loss_rate=float(params["loss_rate"]),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    simulator.add_client("ALPHA")
+    straggler = simulator.anchor_ids[-1]
+    horizon = float(params["rejoin_at_ms"]) + float(params["settle_ms"])
+    simulator.enable_anti_entropy(
+        interval_ms=float(params["anti_entropy_interval_ms"]), until=horizon
+    )
+    simulator.schedule_offline(straggler, float(params["offline_at_ms"]))
+    simulator.schedule_online(straggler, float(params["rejoin_at_ms"]))
+    checkpoints: dict[str, Any] = {}
+
+    def snapshot_rejoin_state() -> None:
+        checkpoints["producer_marker"] = simulator.producer.chain.genesis_marker
+        checkpoints["producer_head"] = simulator.producer.chain.head.block_number
+        checkpoints["straggler_head"] = simulator.anchors[straggler].chain.head.block_number
+
+    kernel.schedule_at(
+        float(params["rejoin_at_ms"]) - 1.0, snapshot_rejoin_state, label="rejoin-state"
+    )
+    accepted: list[int] = []
+    for index in range(int(params["events"])):
+        def submit(index: int = index) -> None:
+            response = simulator.submit_entry(
+                "ALPHA", _login("ALPHA", index), anchor_id=simulator.producer_id
+            )
+            if not response.is_error:
+                accepted.append(index)
+
+        kernel.schedule_at(
+            25.0 + index * float(params["entry_gap_ms"]), submit, label=f"entry-{index}"
+        )
+    kernel.run_until(horizon)
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "straggler": straggler,
+        "entries_accepted": len(accepted),
+        "at_rejoin": checkpoints,
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }

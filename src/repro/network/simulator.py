@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.service.remote import RemoteLedgerClient
+    from repro.sync.antientropy import AntiEntropyService
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.consensus.election import HeadElection
@@ -60,6 +61,7 @@ class SimulationReport:
     elections: int = 0
     transport: dict[str, Any] = field(default_factory=dict)
     kernel: dict[str, Any] = field(default_factory=dict)
+    anti_entropy: dict[str, Any] = field(default_factory=dict)
     final_chain_statistics: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -75,6 +77,7 @@ class SimulationReport:
             "elections": self.elections,
             "transport": dict(self.transport),
             "kernel": dict(self.kernel),
+            "anti_entropy": dict(self.anti_entropy),
             "final_chain_statistics": dict(self.final_chain_statistics),
         }
 
@@ -103,6 +106,8 @@ class NetworkSimulator:
         admins: tuple[str, ...] = (),
         kernel: Optional[EventKernel] = None,
         gossip: Optional[GossipOverlay] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 23,
     ) -> None:
         if anchor_count < 1:
             raise ValueError("at least one anchor node is required")
@@ -110,7 +115,10 @@ class NetworkSimulator:
         self.schema = schema
         self.kernel = kernel
         self.gossip = gossip
-        self.transport = InMemoryTransport(latency=latency, kernel=kernel)
+        self.transport = InMemoryTransport(
+            latency=latency, kernel=kernel, loss_rate=loss_rate, loss_seed=loss_seed
+        )
+        self.anti_entropy: Optional["AntiEntropyService"] = None
         self.report = SimulationReport()
 
         self.anchor_ids = [f"anchor-{index}" for index in range(anchor_count)]
@@ -238,6 +246,37 @@ class NetworkSimulator:
     def schedule_heal(self, at: float) -> None:
         """Book the partition heal on the virtual clock."""
         self.transport.schedule_heal(at)
+
+    # ------------------------------------------------------------------ #
+    # Anti-entropy (repro.sync)
+    # ------------------------------------------------------------------ #
+
+    def enable_anti_entropy(
+        self, *, interval_ms: float = 150.0, until: Optional[float] = None
+    ) -> "AntiEntropyService":
+        """Book periodic ``SYNC_DIGEST`` rounds on the gossip overlay.
+
+        Requires a kernel-backed deployment with a gossip overlay.  The
+        service's convergence counters are folded into the final report
+        (``report.anti_entropy``); see
+        :class:`repro.sync.antientropy.AntiEntropyService`.
+        """
+        from repro.sync.antientropy import AntiEntropyService
+
+        kernel = self._require_kernel()
+        if self.gossip is None:
+            raise ValueError("anti-entropy requires a gossip overlay")
+        if self.anti_entropy is not None:
+            raise ValueError("anti-entropy is already enabled")
+        self.anti_entropy = AntiEntropyService(
+            transport=self.transport,
+            overlay=self.gossip,
+            kernel=kernel,
+            nodes=self.anchors,
+            interval_ms=interval_ms,
+        )
+        self.anti_entropy.start(until=until)
+        return self.anti_entropy
 
     # ------------------------------------------------------------------ #
     # Producer failover (Section V-B4)
@@ -411,8 +450,14 @@ class NetworkSimulator:
         gossip hops and scheduled faults still pending are accounted for.
         """
         if self.kernel is not None:
+            if self.anti_entropy is not None:
+                # The recurring digest rounds would keep the queue non-empty
+                # forever; stop them so the drain below terminates.
+                self.anti_entropy.stop()
             self.kernel.run()
             self.report.kernel = self.kernel.statistics()
+        if self.anti_entropy is not None:
+            self.report.anti_entropy = self.anti_entropy.statistics()
         self.report.transport = self.transport.statistics.as_dict()
         self.report.final_chain_statistics = self.producer.chain.statistics()
         return self.report

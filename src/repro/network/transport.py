@@ -2,7 +2,8 @@
 
 This is the substitution for the paper's CORBA middleware: a deterministic
 message fabric with per-link latency, fault injection (dropped links,
-partitions, outages) and full message statistics for the evaluation harness.
+partitions, outages, seeded probabilistic loss) and full message statistics
+for the evaluation harness.
 
 The transport runs in one of two modes:
 
@@ -113,10 +114,17 @@ class TransportStatistics:
     each message arrived); in synchronous mode they remain accounting-only
     figures that never influenced ordering — the historical behaviour, kept
     under the historical alias ``simulated_latency_ms``.
+
+    ``dropped`` counts messages undeliverable for *structural* reasons
+    (offline node, blocked link, unknown recipient); ``lost`` counts
+    messages eaten by the probabilistic loss model (``loss_rate``).  A lost
+    message also increments ``dropped``, so the historical total is
+    unchanged.
     """
 
     delivered: int = 0
     dropped: int = 0
+    lost: int = 0
     broadcasts: int = 0
     timeouts: int = 0
     bytes_transferred: int = 0
@@ -132,6 +140,7 @@ class TransportStatistics:
         return {
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "lost": self.lost,
             "broadcasts": self.broadcasts,
             "timeouts": self.timeouts,
             "bytes_transferred": self.bytes_transferred,
@@ -153,9 +162,19 @@ class InMemoryTransport:
         latency: Optional[LatencyModel] = None,
         *,
         kernel: Optional[EventKernel] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 23,
     ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.latency = latency or LatencyModel()
         self.kernel = kernel
+        #: Probability that any single delivery is silently eaten by the
+        #: network (evaluated per message at delivery time, seeded — so runs
+        #: replay identically).  Models the lossy links snapshot bootstrap
+        #: must retransmit through.
+        self.loss_rate = float(loss_rate)
+        self._loss_random = random.Random(loss_seed)
         self.statistics = TransportStatistics()
         self._handlers: dict[str, Handler] = {}
         self._blocked_links: set[tuple[str, str]] = set()
@@ -229,6 +248,16 @@ class InMemoryTransport:
         if recipient not in self._handlers:
             return False
         return self._path_open(sender, recipient)
+
+    def _loses(self) -> bool:
+        """Draw the loss model for one delivery (no draw when lossless)."""
+        if self.loss_rate <= 0.0:
+            return False
+        if self._loss_random.random() >= self.loss_rate:
+            return False
+        self.statistics.lost += 1
+        self.statistics.dropped += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # Scheduled fault injection (kernel mode)
@@ -306,6 +335,10 @@ class InMemoryTransport:
         if not self._deliverable(message.sender, recipient):
             self.statistics.dropped += 1
             return message.error("transport", f"link {message.sender!r} -> {recipient!r} unavailable")
+        if self._loses():
+            return message.error(
+                "transport", f"message {message.sender!r} -> {recipient!r} lost"
+            )
         request_latency = self.latency.sample_for(message.sender, recipient)
         self._account_delivery(message, request_latency)
         response = self._handlers[recipient](message)
@@ -315,6 +348,10 @@ class InMemoryTransport:
         if timeout_ms is not None and request_latency + response_latency > timeout_ms:
             self.statistics.timeouts += 1
             return None
+        if self._loses():
+            return message.error(
+                "transport", f"response from {recipient!r} to {message.sender!r} lost"
+            )
         self._account_delivery(response, response_latency)
         return response
 
@@ -335,6 +372,12 @@ class InMemoryTransport:
                 outcome["undeliverable"] = True
                 outcome["response"] = message.error(
                     "transport", f"link {message.sender!r} -> {recipient!r} unavailable"
+                )
+                return
+            if self._loses():
+                outcome["undeliverable"] = True
+                outcome["response"] = message.error(
+                    "transport", f"message {message.sender!r} -> {recipient!r} lost"
                 )
                 return
             self._account_delivery(message, request_latency)
@@ -359,6 +402,10 @@ class InMemoryTransport:
             return message.error(
                 "transport", f"response from {recipient!r} to {message.sender!r} lost"
             )
+        if self._loses():
+            return message.error(
+                "transport", f"response from {recipient!r} to {message.sender!r} lost"
+            )
         self._account_delivery(response, response_latency)
         return response
 
@@ -376,6 +423,8 @@ class InMemoryTransport:
             if recipient not in self._handlers or not self._deliverable(message.sender, recipient):
                 self.statistics.dropped += 1
                 return None
+            if self._loses():
+                return None
             self._account_delivery(message, self.latency.sample_for(message.sender, recipient))
             self._handlers[recipient](message)
             return None
@@ -385,6 +434,8 @@ class InMemoryTransport:
         def arrive() -> None:
             if not self._deliverable(message.sender, recipient):
                 self.statistics.dropped += 1
+                return
+            if self._loses():
                 return
             self._account_delivery(message, latency)
             self._handlers[recipient](message)

@@ -1,7 +1,14 @@
 """Storage backends for anchor nodes: memory, append-only journal, snapshots."""
 
 from repro.storage.memstore import BlockStore, MemoryBlockStore, persist_chain
-from repro.storage.snapshot import SnapshotManager, load_snapshot, save_snapshot
+from repro.storage.snapshot import (
+    SnapshotManager,
+    chain_from_payload,
+    load_snapshot,
+    save_snapshot,
+    snapshot_digest,
+    snapshot_payload,
+)
 from repro.storage.wal import JournalBlockStore
 
 __all__ = [
@@ -9,7 +16,10 @@ __all__ = [
     "MemoryBlockStore",
     "persist_chain",
     "SnapshotManager",
+    "chain_from_payload",
     "load_snapshot",
     "save_snapshot",
+    "snapshot_digest",
+    "snapshot_payload",
     "JournalBlockStore",
 ]

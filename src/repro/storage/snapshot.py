@@ -5,10 +5,20 @@ Snapshots capture the complete state of a :class:`~repro.core.chain.Blockchain`
 They are what a freshly joining anchor node downloads to obtain the *"current
 status quo"* clients and nodes must anchor their trust in (Section V-B3/B4),
 and they double as the persistence format of the examples and benchmarks.
+
+Two formats share the same ``to_dict`` payload:
+
+* the **file format** (:func:`save_snapshot` / :func:`load_snapshot`) —
+  indented JSON, friendly to inspection and version control;
+* the **wire format** (:func:`snapshot_payload` / :func:`chain_from_payload`)
+  — one compact, canonically ordered string, the unit the snapshot-bootstrap
+  protocol (:mod:`repro.sync.bootstrap`) chunks, digests and streams between
+  anchor nodes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
@@ -17,6 +27,56 @@ from repro.core.errors import StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - the chain façade imports this package
     from repro.core.chain import Blockchain
+
+
+#: Audit events carried by the wire format.  The audit trail is pure
+#: observability — it never influences block hashes or chain behaviour — so
+#: a bootstrapping replica only receives a bounded tail of it.  Without this
+#: cap the snapshot would grow linearly with chain *age* even though the
+#: living chain itself is bounded by retention, and the whole point of the
+#: snapshot bootstrap is that its cost tracks the living state, not history.
+WIRE_AUDIT_WINDOW = 64
+
+
+def snapshot_payload(chain: Blockchain, *, audit_window: Optional[int] = WIRE_AUDIT_WINDOW) -> str:
+    """Serialise the chain state to one compact canonical string.
+
+    The output is deterministic for a given chain state (sorted keys, no
+    whitespace), so its length and digest are stable quantities the wire
+    protocol can advertise in a manifest before streaming the chunks.  The
+    audit trail is truncated to its newest ``audit_window`` events
+    (``None`` keeps all of them — the file format's behaviour).
+    """
+    state = chain.to_dict()
+    if audit_window is not None:
+        state["events"] = state["events"][-audit_window:]
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_digest(payload: str) -> str:
+    """Integrity digest of a wire snapshot payload (hex sha256)."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def chain_from_payload(payload: str, **chain_kwargs) -> Blockchain:
+    """Restore and fully verify a chain from a wire snapshot payload.
+
+    Mirrors :func:`load_snapshot`: besides the hash-chain validation the
+    chain index rebuilt by ``Blockchain.from_dict`` is verified against the
+    legacy linear scans, so a bootstrapping replica never starts serving
+    lookups from a corrupt cache.  Raises :class:`StorageError` on malformed
+    payloads and the chain's own integrity errors on inconsistent state.
+    """
+    from repro.core.chain import Blockchain
+
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"snapshot payload is not valid JSON: {exc}") from exc
+    chain = Blockchain.from_dict(data, **chain_kwargs)
+    chain.validate()
+    chain.verify_index()
+    return chain
 
 
 def save_snapshot(chain: Blockchain, path: Union[str, Path]) -> int:

@@ -1,7 +1,13 @@
 """Tests for the catch-up path of anchor nodes that were temporarily offline."""
 
 from repro.core import Blockchain, ChainConfig, EntryReference
-from repro.network import AnchorNode, ClientNode, InMemoryTransport, NetworkSimulator
+from repro.network import (
+    AnchorNode,
+    CatchUpStatus,
+    ClientNode,
+    InMemoryTransport,
+    NetworkSimulator,
+)
 
 
 def login(user, detail=""):
@@ -39,8 +45,10 @@ class TestCatchUp:
         transport.set_offline("anchor-2", False)
         assert nodes["anchor-2"].chain.head.block_number < nodes[ids[0]].chain.head.block_number
 
-        adopted = nodes["anchor-2"].catch_up(ids[0])
-        assert adopted >= 2
+        result = nodes["anchor-2"].catch_up(ids[0])
+        assert result.status is CatchUpStatus.ADOPTED
+        assert result.adopted >= 2
+        assert not result.declined
         assert (
             nodes["anchor-2"].chain.head.block_hash == nodes[ids[0]].chain.head.block_hash
         )
@@ -51,7 +59,9 @@ class TestCatchUp:
         transport, nodes, ids = build_network()
         client = ClientNode("ALPHA", transport)
         client.submit_entry(ids[0], login("ALPHA"))
-        assert nodes["anchor-1"].catch_up(ids[0]) == 0
+        result = nodes["anchor-1"].catch_up(ids[0])
+        assert result.status is CatchUpStatus.ALREADY_CURRENT
+        assert result.adopted == 0
         assert nodes["anchor-1"].chain.head.block_hash == nodes[ids[0]].chain.head.block_hash
 
     def test_catch_up_replays_deletion_requests(self):
@@ -65,10 +75,14 @@ class TestCatchUp:
         nodes["anchor-2"].catch_up(ids[0])
         assert nodes["anchor-2"].chain.registry.approved_count == 1
 
-    def test_catch_up_from_unreachable_peer(self):
+    def test_catch_up_from_unreachable_peer_reports_why(self):
         transport, nodes, ids = build_network()
         transport.set_offline(ids[0])
-        assert nodes["anchor-1"].catch_up(ids[0]) == 0
+        result = nodes["anchor-1"].catch_up(ids[0])
+        assert result.status is CatchUpStatus.PEER_UNREACHABLE
+        assert result.adopted == 0
+        assert result.declined
+        assert "unavailable" in result.detail
 
     def test_catch_up_across_marker_shift_requires_snapshot(self):
         """A replica that missed whole expired sequences cannot replay them."""
@@ -81,14 +95,15 @@ class TestCatchUp:
         transport.set_offline("anchor-2", False)
         producer = nodes[ids[0]]
         assert producer.chain.genesis_marker > 0
-        adopted = nodes["anchor-2"].catch_up(ids[0])
+        result = nodes["anchor-2"].catch_up(ids[0])
         # The peer no longer serves the blocks the stale replica would need
-        # next (they were deleted), so incremental catch-up stops and reports
-        # that a snapshot bootstrap is required.
-        if adopted == 0:
-            assert nodes["anchor-2"].chain.head.block_number < producer.chain.head.block_number
-        else:
-            assert nodes["anchor-2"].chain.head.block_hash == producer.chain.head.block_hash
+        # next (they were deleted), so incremental catch-up declines and
+        # names both the missing range and the remedy.
+        assert result.status is CatchUpStatus.SNAPSHOT_REQUIRED
+        assert result.declined and result.adopted == 0
+        assert "no longer served" in result.detail
+        assert "bootstrap_from" in result.detail
+        assert nodes["anchor-2"].chain.head.block_number < producer.chain.head.block_number
 
 
 class TestSimulatorOfflineRecovery:
@@ -98,6 +113,6 @@ class TestSimulatorOfflineRecovery:
         simulator.take_offline("anchor-1")
         simulator.submit_entry("ALPHA", login("ALPHA", "#1"))
         simulator.bring_online("anchor-1")
-        adopted = simulator.anchors["anchor-1"].catch_up("anchor-0")
-        assert adopted >= 1
+        result = simulator.anchors["anchor-1"].catch_up("anchor-0")
+        assert result.adopted >= 1
         assert simulator.replicas_identical()

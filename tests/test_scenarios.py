@@ -129,6 +129,27 @@ class TestScenarioOutcomes:
         result = run_scenario("node-churn", seed=7, smoke=True)
         assert result["replicas_identical"] is True
 
+    def test_partition_and_heal_recovers_via_anti_entropy_not_fallback(self):
+        result = run_scenario("partition-and-heal", seed=7, smoke=True)
+        stats = result["report"]["anti_entropy"]
+        assert stats["rounds"] > 0
+        assert stats["converged"] is True
+
+    def test_replica_bootstrap_adopts_a_snapshot_across_a_marker_shift(self):
+        result = run_scenario("replica-bootstrap", seed=7, smoke=True)
+        # The straggler rejoined behind a genesis-marker shift ...
+        at_rejoin = result["at_rejoin"]
+        assert at_rejoin["producer_marker"] > at_rejoin["straggler_head"]
+        # ... and converged to the producer's head via a wire bootstrap
+        # triggered by anti-entropy digests alone.
+        assert result["replicas_identical"] is True
+        assert len(set(result["heads"].values())) == 1
+        nodes = result["report"]["anti_entropy"]["nodes"]
+        assert nodes["bootstraps"] >= 1
+        assert nodes["bootstrap_bytes"] > 0
+        # The lossy transport genuinely ate messages along the way.
+        assert result["report"]["transport"]["lost"] > 0
+
     def test_geo_latency_profiles_pay_for_distance(self):
         result = run_scenario("geo-latency-profiles", seed=7, smoke=True)
         profiles = result["profiles"]

@@ -1,0 +1,377 @@
+"""Tests for the replica-synchronisation subsystem (repro.sync).
+
+Covers the wire snapshot bootstrap (chunking, manifest verification,
+retransmission over lossy links, mid-transfer restarts), the catch-up
+decline reasons that route into it, and the anti-entropy digest rounds —
+including the acceptance pin that convergence is byte-identical per seed.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Blockchain, ChainConfig
+from repro.network import (
+    AnchorNode,
+    CatchUpStatus,
+    ClientNode,
+    EventKernel,
+    GossipOverlay,
+    GossipTopology,
+    InMemoryTransport,
+    LatencyModel,
+    NetworkSimulator,
+)
+from repro.storage.snapshot import chain_from_payload, snapshot_digest, snapshot_payload
+from repro.sync import BootstrapError, SnapshotChunkCache, fetch_snapshot
+
+
+def login(user, detail=""):
+    record = f"Login {user}" if not detail else f"Login {user} {detail}"
+    return {"D": record, "K": user, "S": f"sig_{user}"}
+
+
+def build_network(anchor_count=3, *, transport=None):
+    transport = transport or InMemoryTransport()
+    config = ChainConfig.paper_evaluation()
+    ids = [f"anchor-{i}" for i in range(anchor_count)]
+    nodes = {}
+    for node_id in ids:
+        nodes[node_id] = AnchorNode(
+            node_id,
+            Blockchain(config),
+            transport,
+            is_producer=(node_id == ids[0]),
+            producer_id=ids[0],
+        )
+    for node in nodes.values():
+        node.connect(ids)
+    return transport, nodes, ids
+
+
+def isolate_across_marker_shift(transport, nodes, ids, *, events=9):
+    """Drive traffic while one replica is offline until the marker shifts."""
+    client = ClientNode("ALPHA", transport)
+    client.submit_entry(ids[0], login("ALPHA", "#0"))
+    transport.set_offline(ids[-1])
+    for index in range(1, events):
+        client.submit_entry(ids[0], login("ALPHA", f"#{index}"))
+    transport.set_offline(ids[-1], False)
+    producer = nodes[ids[0]]
+    straggler = nodes[ids[-1]]
+    assert producer.chain.genesis_marker > straggler.chain.head.block_number
+    return producer, straggler
+
+
+class TestSnapshotChunkCache:
+    def test_chunks_reassemble_to_the_payload(self):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for index in range(5):
+            chain.add_entry_block(login("ALPHA", f"#{index}"), "ALPHA")
+        cache = SnapshotChunkCache(chain)
+        manifest = cache.manifest(chunk_size=128)
+        assembled = "".join(
+            cache.chunk(index, chunk_size=128) for index in range(manifest.total_chunks)
+        )
+        assert assembled == snapshot_payload(chain)
+        assert len(assembled) == manifest.total_bytes
+        assert snapshot_digest(assembled) == manifest.digest
+        assert manifest.head_hash == chain.head.block_hash
+
+    def test_cache_invalidates_when_the_head_moves(self):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        chain.add_entry_block(login("ALPHA"), "ALPHA")
+        cache = SnapshotChunkCache(chain)
+        first = cache.manifest()
+        chain.add_entry_block(login("ALPHA", "again"), "ALPHA")
+        second = cache.manifest()
+        assert first.head_hash != second.head_hash
+        assert first.digest != second.digest
+
+    def test_out_of_range_chunk_and_bad_chunk_size_are_rejected(self):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        cache = SnapshotChunkCache(chain)
+        manifest = cache.manifest()
+        with pytest.raises(BootstrapError):
+            cache.chunk(manifest.total_chunks)
+        with pytest.raises(BootstrapError):
+            cache.manifest(chunk_size=0)
+
+
+class TestWireBootstrap:
+    def test_bootstrap_converges_a_replica_across_a_marker_shift(self):
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        assert straggler.catch_up(ids[0]).status is CatchUpStatus.SNAPSHOT_REQUIRED
+        report = straggler.bootstrap_from(ids[0], chunk_size=512)
+        assert report.succeeded, report.reason
+        assert report.chunks_fetched == report.manifest.total_chunks > 1
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+        assert straggler.chain.genesis_marker == producer.chain.genesis_marker
+        # The deletion registry and audit trail travel with the snapshot.
+        assert straggler.chain.statistics() == producer.chain.statistics()
+        # The adopted replica keeps replicating live afterwards.
+        client = ClientNode("BRAVO", transport)
+        client.submit_entry(ids[0], login("BRAVO"))
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+
+    def test_bootstrap_retransmits_chunks_over_a_lossy_scheduled_transport(self):
+        kernel = EventKernel(seed=5)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=5.0, maximum_ms=15.0, seed=5),
+            kernel=kernel,
+            loss_rate=0.25,
+            loss_seed=17,
+        )
+        transport_setup, nodes, ids = build_network(transport=transport)
+        # Build traffic with a lossless window first so every submission
+        # lands deterministically, then turn losses on for the bootstrap.
+        transport.loss_rate = 0.0
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        transport.loss_rate = 0.25
+        report = straggler.bootstrap_from(ids[0], chunk_size=256, max_retries=8)
+        assert report.succeeded, report.reason
+        assert report.retransmits > 0  # losses genuinely hit the transfer
+        assert transport.statistics.lost > 0
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+
+    def test_bootstrap_restarts_when_the_peer_head_moves_mid_transfer(self):
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        served = {"count": 0}
+        original = producer._handle_snapshot_request
+
+        def busy_producer(message):
+            served["count"] += 1
+            if served["count"] == 2:
+                # The producer seals a new block between two chunk requests:
+                # chunks fetched so far belong to a snapshot that no longer
+                # exists and must not be mixed with the new one.
+                producer.chain.seal_block()
+            return original(message)
+
+        producer._handle_snapshot_request = busy_producer
+        report = straggler.bootstrap_from(ids[0], chunk_size=512)
+        assert report.succeeded, report.reason
+        assert report.restarts >= 1
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+
+    def test_bootstrap_restarts_when_the_snapshot_shrinks_mid_transfer(self):
+        """A peer verdict ("chunk out of range" after deletions shrank the
+        snapshot) must trigger a restart, not burn every retry on the same
+        doomed index."""
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        original = producer._handle_snapshot_request
+        state = {"shrunk": False}
+
+        def shrinking_producer(message):
+            if not state["shrunk"] and int(message.payload.get("chunk", 0)) >= 2:
+                state["shrunk"] = True
+                return message.error(
+                    producer.node_id, "chunk 2 out of range (snapshot has 2 chunks)"
+                )
+            return original(message)
+
+        producer._handle_snapshot_request = shrinking_producer
+        report = straggler.bootstrap_from(ids[0], chunk_size=512)
+        assert report.succeeded, report.reason
+        assert report.restarts >= 1
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+
+    def test_catch_up_declines_cheaply_across_a_marker_shift(self):
+        """The peer must not serialise its living chain into a response the
+        requester is bound to discard — the decline carries no blocks."""
+        from repro.network import MessageKind
+
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        result = straggler.catch_up(ids[0])
+        assert result.status is CatchUpStatus.SNAPSHOT_REQUIRED
+        response = [
+            message
+            for message in transport.message_log
+            if message.kind is MessageKind.SYNC_RESPONSE
+        ][-1]
+        assert response.payload["snapshot_required"] is True
+        assert response.payload["blocks"] == []
+
+    def test_catch_up_from_a_forked_peer_reports_rejection_not_a_crash(self):
+        transport, nodes, ids = build_network()
+        fork_a, fork_b = nodes[ids[0]], nodes["anchor-1"]
+        fork_b.connect(ids)
+        # Both replicas seal a *different* block 1, then the producer moves on.
+        fork_b.chain.add_entry_block(login("MALLORY"), "MALLORY")
+        client = ClientNode("ALPHA", transport)
+        client.submit_entry(ids[0], login("ALPHA", "#0"))
+        client.submit_entry(ids[0], login("ALPHA", "#1"))
+        result = fork_b.catch_up(ids[0])
+        assert result.status is CatchUpStatus.BLOCK_REJECTED
+        assert "hash" in result.detail
+        assert fork_b.rejected_blocks
+
+    def test_digest_at_equal_height_with_different_hash_counts_divergence(self):
+        from repro.network import Message, MessageKind
+
+        transport, nodes, ids = build_network()
+        honest, forked = nodes[ids[0]], nodes["anchor-1"]
+        forked.chain.add_entry_block(login("MALLORY"), "MALLORY")
+        client = ClientNode("ALPHA", transport)
+        client.submit_entry(ids[0], login("ALPHA"))
+        assert honest.chain.head.block_number == forked.chain.head.block_number
+        digest = Message(
+            kind=MessageKind.SYNC_DIGEST,
+            sender=ids[0],
+            payload={
+                "head": honest.chain.head.block_number,
+                "head_hash": honest.chain.head.block_hash,
+                "genesis_marker": honest.chain.genesis_marker,
+                "round": 1,
+            },
+        )
+        before = forked.chain.head.block_hash
+        assert forked.handle_message(digest) is None
+        # No pull was attempted (a replay cannot reconcile a fork) ...
+        assert forked.chain.head.block_hash == before
+        assert forked.sync_stats["catch_ups"] == 0
+        # ... but the divergence is surfaced in the counters.
+        assert forked.sync_stats["digests_diverged"] == 1
+
+    def test_fetch_from_unreachable_peer_reports_failure(self):
+        transport, nodes, ids = build_network()
+        transport.set_offline(ids[0])
+        report = fetch_snapshot(transport, "anchor-1", ids[0], max_retries=1)
+        assert not report.succeeded
+        assert "unreachable" in report.reason
+        # The local replica is untouched by a failed bootstrap.
+        before = nodes["anchor-1"].chain.head.block_hash
+        failed = nodes["anchor-1"].bootstrap_from(ids[0], max_retries=1)
+        assert not failed.succeeded
+        assert nodes["anchor-1"].chain.head.block_hash == before
+
+    def test_catch_up_reports_engine_rejection(self):
+        from repro.consensus.base import ConsensusDecision, NullConsensus
+
+        class RejectAll(NullConsensus):
+            def validate_block(self, block, head):
+                return ConsensusDecision(accepted=False, reason="rejected by policy")
+
+        transport = InMemoryTransport()
+        config = ChainConfig.paper_evaluation()
+        producer = AnchorNode("p", Blockchain(config), transport, is_producer=True)
+        replica = AnchorNode(
+            "r", Blockchain(config), transport, engine=RejectAll(), producer_id="p"
+        )
+        producer.connect(["p"])  # no announcements; the replica must pull
+        replica.connect(["p", "r"])
+        producer.chain.add_entry_block(login("ALPHA"), "ALPHA")
+        result = replica.catch_up("p")
+        assert result.status is CatchUpStatus.BLOCK_REJECTED
+        assert result.declined
+        assert "rejected by policy" in result.detail
+
+    def test_wire_payload_round_trips_through_chain_from_payload(self):
+        chain = Blockchain(ChainConfig.paper_evaluation())
+        for index in range(10):
+            chain.add_entry_block(login("ALPHA", f"#{index}"), "ALPHA")
+        restored = chain_from_payload(snapshot_payload(chain))
+        assert restored.head.block_hash == chain.head.block_hash
+        assert snapshot_payload(restored) == snapshot_payload(chain)
+
+
+def build_anti_entropy_deployment(seed, *, anchors=4, loss_rate=0.0):
+    kernel = EventKernel(seed=seed)
+    ids = [f"anchor-{i}" for i in range(anchors)]
+    simulator = NetworkSimulator(
+        anchor_count=anchors,
+        config=ChainConfig.paper_evaluation(),
+        latency=LatencyModel(minimum_ms=5.0, maximum_ms=20.0, seed=seed + 1),
+        kernel=kernel,
+        gossip=GossipOverlay(GossipTopology.ring(ids), fanout=1, seed=seed + 2),
+        loss_rate=loss_rate,
+        loss_seed=seed + 3,
+    )
+    simulator.add_client("ALPHA")
+    return kernel, simulator
+
+
+class TestAntiEntropy:
+    def run_deployment(self, seed):
+        from repro.network.message import reset_message_counter
+
+        reset_message_counter()
+        kernel, simulator = build_anti_entropy_deployment(seed)
+        simulator.enable_anti_entropy(interval_ms=60.0, until=900.0)
+        simulator.schedule_offline("anchor-3", 40.0)
+        simulator.schedule_online("anchor-3", 600.0)
+        for index in range(10):
+            kernel.schedule_at(
+                20.0 + index * 45.0,
+                lambda index=index: simulator.submit_entry(
+                    "ALPHA", login("ALPHA", f"#{index}"), anchor_id=simulator.producer_id
+                ),
+                label=f"entry-{index}",
+            )
+        kernel.run_until(900.0)
+        report = simulator.finalize()
+        return simulator, report
+
+    def test_digest_rounds_converge_a_rejoined_replica_without_fallback(self):
+        simulator, report = self.run_deployment(seed=9)
+        assert simulator.replicas_identical()
+        stats = report.anti_entropy
+        assert stats["rounds"] > 0
+        assert stats["converged"] is True
+        assert stats["nodes"]["digests_behind"] > 0  # pulls were digest-driven
+
+    def test_convergence_is_byte_identical_per_seed(self):
+        _, first = self.run_deployment(seed=9)
+        _, second = self.run_deployment(seed=9)
+        assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+            second.as_dict(), sort_keys=True
+        )
+
+    def test_different_seeds_take_different_trajectories(self):
+        _, first = self.run_deployment(seed=9)
+        _, second = self.run_deployment(seed=10)
+        assert json.dumps(first.as_dict(), sort_keys=True) != json.dumps(
+            second.as_dict(), sort_keys=True
+        )
+
+    def test_digest_triggered_bootstrap_across_marker_shift(self):
+        from repro.network.message import reset_message_counter
+
+        reset_message_counter()
+        kernel, simulator = build_anti_entropy_deployment(seed=4)
+        simulator.enable_anti_entropy(interval_ms=60.0, until=1600.0)
+        simulator.schedule_offline("anchor-3", 30.0)
+        simulator.schedule_online("anchor-3", 1100.0)
+        for index in range(20):
+            kernel.schedule_at(
+                20.0 + index * 40.0,
+                lambda index=index: simulator.submit_entry(
+                    "ALPHA", login("ALPHA", f"#{index}"), anchor_id=simulator.producer_id
+                ),
+                label=f"entry-{index}",
+            )
+        kernel.run_until(1050.0)
+        # The producer's marker has shifted past the straggler's head, so
+        # the digest-triggered pull must escalate to a snapshot bootstrap.
+        assert (
+            simulator.producer.chain.genesis_marker
+            > simulator.anchors["anchor-3"].chain.head.block_number
+        )
+        kernel.run_until(1600.0)
+        report = simulator.finalize()
+        assert simulator.replicas_identical()
+        assert report.anti_entropy["nodes"]["bootstraps"] >= 1
+        assert report.anti_entropy["nodes"]["bootstrap_bytes"] > 0
+
+    def test_anti_entropy_requires_kernel_and_overlay(self):
+        simulator = NetworkSimulator(anchor_count=2)
+        with pytest.raises(ValueError):
+            simulator.enable_anti_entropy()
+        kernel = EventKernel(seed=1)
+        no_overlay = NetworkSimulator(anchor_count=2, kernel=kernel)
+        with pytest.raises(ValueError):
+            no_overlay.enable_anti_entropy()
