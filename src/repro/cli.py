@@ -40,7 +40,13 @@ from repro.analysis.report import (
 from repro.core.chain import Blockchain
 from repro.core.config import ChainConfig
 from repro.core.schema import default_log_schema
-from repro.network.scenarios import run_scenario, scenario_catalogue, scenario_names
+from repro.network.scenarios import (
+    ScenarioError,
+    run_scenario,
+    scenario_catalogue,
+    scenario_names,
+    validate_overrides,
+)
 from repro.network.simulator import NetworkSimulator
 from repro.service.client import LedgerClient, LocalLedgerClient
 from repro.storage.wal import JournalBlockStore
@@ -130,6 +136,25 @@ def _run_parity(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _parse_scenario_params(items: list[str]) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` overrides.
+
+    Values are parsed as JSON (so numbers, booleans and lists work) with a
+    plain-string fallback; validation against the scenario's parameter set
+    happens in :func:`run_scenario`, which names any offending key.
+    """
+    overrides: dict = {}
+    for item in items:
+        key, separator, raw = item.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param expects KEY=VALUE, got {item!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     """Run scenarios from the deterministic-kernel catalogue."""
     if args.list:
@@ -139,12 +164,43 @@ def _run_simulate(args: argparse.Namespace) -> int:
     if args.scenario is None:
         print("simulate: pass --scenario NAME (or --list to see the catalogue)")
         return 2
+    try:
+        overrides = _parse_scenario_params(args.param)
+    except ValueError as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 2
     names = scenario_names() if args.scenario == "all" else [args.scenario]
+    try:
+        # Validate overrides against *every* selected scenario up front, so
+        # `--scenario all --param typo=1` is rejected before anything runs
+        # instead of aborting mid-run with partial output.
+        for name in names:
+            validate_overrides(name, overrides)
+    except ScenarioError as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 2
     status = 0
     for name in names:
-        result = run_scenario(name, seed=args.seed, smoke=args.smoke)
+        try:
+            result = run_scenario(name, seed=args.seed, smoke=args.smoke, **overrides)
+        except ScenarioError as exc:
+            print(f"simulate: {exc}", file=sys.stderr)
+            return 2
+        except (TypeError, ValueError) as exc:
+            # Wrong-typed values are rejected up front by validate_overrides;
+            # what remains here are domain violations a workload constructor
+            # refuses (`records=-5`).  Without overrides the defaults are
+            # known-good, so the same exception is an internal bug: let the
+            # traceback through rather than blaming a parameter.
+            if not overrides:
+                raise
+            print(
+                f"simulate: scenario {name!r} rejected the given parameters: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         if args.check_determinism:
-            rerun = run_scenario(name, seed=args.seed, smoke=args.smoke)
+            rerun = run_scenario(name, seed=args.seed, smoke=args.smoke, **overrides)
             identical = json.dumps(result, sort_keys=True) == json.dumps(rerun, sort_keys=True)
             # stderr, so the verdict survives a piped/redirected stdout
             # (the CI smoke job discards the JSON payload).
@@ -269,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7, help="simulation seed")
     simulate.add_argument(
         "--smoke", action="store_true", help="tiny parameters (CI smoke runs)"
+    )
+    simulate.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one scenario parameter (repeatable); VALUE is JSON or a string",
     )
     simulate.add_argument(
         "--check-determinism",

@@ -495,12 +495,19 @@ class Blockchain:
             self._create_summary_block()
 
     def _create_summary_block(self) -> SummaryResult:
+        # Expiry is evaluated at the summary block's own timestamp — which
+        # the paper defines as the *preceding block's* timestamp (Section
+        # IV-B) — not at the local clock.  On-chain time makes the summary a
+        # pure function of chain content: a replica recomputing it at
+        # message-delivery time (arbitrarily later on the virtual clock)
+        # reaches the identical carried/dropped split, so temporary-entry
+        # expiry can never fork the quorum.
         result = self.summarizer.build_summary_block(
             sequences=self._index.live_views(),
             previous_block=self.head,
             next_block_number=self.next_block_number,
             registry=self.registry,
-            current_time=self._peek_time(),
+            current_time=self.head.timestamp,
         )
         self._append(result.block)
         self._publish(

@@ -36,11 +36,25 @@ Catalogue
 * ``replica-bootstrap``     — a node rejoins behind a genesis-marker shift on
   a lossy network; anti-entropy digests trigger a wire snapshot bootstrap
   and the deployment converges without any scenario-level fallback.
+
+Workload scenarios (driven by
+:class:`~repro.workloads.driver.ScenarioWorkloadDriver`: the full paper
+workload generators on virtual arrival timelines):
+
+* ``gdpr-erasure``          — Art. 17 erasure requests trail a personal-data
+  stream; deletion latency is measured in virtual milliseconds.
+* ``supply-chain-recall``   — Industry-4.0 product stages with best-before
+  expiry on simulated time, plus a regulator recall mid-stream.
+* ``vehicle-telemetry``     — workshop maintenance logs on a lossy network;
+  decommissioning triggers authority deletions, anti-entropy repairs loss.
+* ``coin-economy``          — a coin-transfer graph through a partition and
+  heal; lost-wallet outputs are reclaimed by a recovery admin afterwards.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -51,6 +65,10 @@ from repro.network.kernel import EventKernel
 from repro.network.message import MessageKind, reset_message_counter
 from repro.network.simulator import NetworkSimulator
 from repro.network.transport import GeoLatencyModel, LatencyModel
+from repro.workloads.coins import CoinTransferWorkload
+from repro.workloads.gdpr import GdprErasureWorkload
+from repro.workloads.supply_chain import SupplyChainWorkload
+from repro.workloads.vehicle import VehicleLifecycleWorkload
 
 #: A scenario body: ``(seed, params) -> result-extras dict``.
 ScenarioFn = Callable[[int, dict[str, Any]], dict[str, Any]]
@@ -84,6 +102,14 @@ def scenario(
     """Register a scenario under ``name`` with default / smoke parameters."""
 
     def register(fn: ScenarioFn) -> ScenarioFn:
+        stray = set(smoke or {}) - set(defaults)
+        if stray:
+            # A typo'd smoke key would otherwise silently become a new
+            # parameter nothing reads; fail at registration instead.
+            raise ScenarioError(
+                f"smoke parameter(s) {sorted(stray)} of scenario {name!r} are not "
+                f"declared in defaults {sorted(defaults)}"
+            )
         SCENARIOS[name] = Scenario(
             name=name,
             description=description,
@@ -106,6 +132,42 @@ def scenario_catalogue() -> list[Scenario]:
     return [SCENARIOS[name] for name in scenario_names()]
 
 
+def validate_overrides(name: str, overrides: dict[str, Any]) -> None:
+    """Raise :class:`ScenarioError` for override keys ``name`` lacks — or
+    values whose type does not match the parameter's default.
+
+    Exposed so callers running *several* scenarios (``simulate --scenario
+    all``) can reject a typo'd parameter up front instead of aborting
+    mid-run after some scenarios already executed.  The type check turns
+    ``records="ten"`` into a named, listed error before any scenario body
+    tries ``int(params["records"])``.
+    """
+    entry = SCENARIOS.get(name)
+    if entry is None:
+        raise ScenarioError(f"unknown scenario {name!r}; available: {scenario_names()}")
+    unknown = set(overrides) - set(entry.defaults)
+    if unknown:
+        offending = ", ".join(repr(key) for key in sorted(unknown))
+        raise ScenarioError(
+            f"unknown parameter(s) {offending} for scenario {name!r}; "
+            f"valid parameters: {sorted(entry.defaults)}"
+        )
+    for key in sorted(overrides):
+        default, value = entry.defaults[key], overrides[key]
+        if isinstance(default, bool) or isinstance(value, bool):
+            acceptable = isinstance(default, bool) and isinstance(value, bool)
+        elif isinstance(default, (int, float)):
+            acceptable = isinstance(value, (int, float))
+        else:
+            acceptable = isinstance(value, type(default))
+        if not acceptable:
+            raise ScenarioError(
+                f"parameter {key!r} of scenario {name!r} expects "
+                f"{type(default).__name__} (default {default!r}), "
+                f"got {type(value).__name__} {value!r}"
+            )
+
+
 def run_scenario(
     name: str, *, seed: int = 7, smoke: bool = False, **overrides: Any
 ) -> dict[str, Any]:
@@ -115,15 +177,11 @@ def run_scenario(
     jobs); explicit ``overrides`` win over both defaults and smoke values.
     The result is byte-identical across runs for the same inputs.
     """
-    entry = SCENARIOS.get(name)
-    if entry is None:
-        raise ScenarioError(f"unknown scenario {name!r}; available: {scenario_names()}")
+    validate_overrides(name, overrides)
+    entry = SCENARIOS[name]
     params = dict(entry.defaults)
     if smoke:
         params.update(entry.smoke)
-    unknown = set(overrides) - set(params)
-    if unknown:
-        raise ScenarioError(f"unknown parameters for {name!r}: {sorted(unknown)}")
     params.update(overrides)
     # Message ids are process-global; rewind them so byte accounting is
     # identical no matter what ran earlier in the process.
@@ -172,6 +230,7 @@ def _deployment(
     latency: Optional[LatencyModel] = None,
     config: Optional[ChainConfig] = None,
     loss_rate: float = 0.0,
+    admins: tuple[str, ...] = (),
 ) -> NetworkSimulator:
     """A kernel-backed deployment with independently seeded randomness.
 
@@ -190,6 +249,7 @@ def _deployment(
         gossip=_overlay(overlay, anchors, fanout=fanout, seed=seed + 2),
         loss_rate=loss_rate,
         loss_seed=seed + 3,
+        admins=admins,
     )
 
 
@@ -605,6 +665,474 @@ def _replica_bootstrap(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "straggler": straggler,
         "entries_accepted": len(accepted),
         "at_rejoin": checkpoints,
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Workload scenarios (repro.workloads.driver)
+# --------------------------------------------------------------------- #
+#
+# Each scenario runs one of the paper's application workload generators
+# through a ScenarioWorkloadDriver: the workload's events receive virtual
+# arrival times (workloads.arrival_schedule) and execute against a
+# RemoteLedgerClient on a kernel-backed anchor deployment — so deletion
+# latency, marker shifts, temporary-entry expiry and anti-entropy interact
+# with message latency, loss and partitions on *simulated* time.  The
+# resulting reports carry per-workload counters under report["workloads"].
+
+
+def _workload_chain_config(params: dict[str, Any]) -> ChainConfig:
+    """The paper's evaluation config plus the scenario's idle interval."""
+    return dataclasses.replace(
+        ChainConfig.paper_evaluation(),
+        empty_block_interval=int(params["empty_block_interval_ticks"]),
+    )
+
+
+def _book_idle_heartbeat(
+    simulator: NetworkSimulator, params: dict[str, Any], *, until: float
+) -> None:
+    """Ask the producer periodically whether the idle interval elapsed.
+
+    The heartbeat stands in for the operator's empty-block cron job
+    (Section IV-D3): whether an empty block actually appears is decided by
+    simulated time, and empty blocks are what keep delayed deletions moving
+    once workload traffic has ended.
+    """
+    kernel = simulator.kernel
+    assert kernel is not None
+    kernel.every(
+        float(params["idle_heartbeat_ms"]),
+        lambda: simulator.producer.chain.idle_tick(),
+        label="idle-heartbeat",
+        until=until,
+    )
+
+
+@scenario(
+    "gdpr-erasure",
+    "Art. 17 erasure requests trail a personal-data stream; deletion latency in virtual ms",
+    defaults={
+        "anchors": 3,
+        "records": 60,
+        "subjects": 12,
+        "erasure_probability": 0.35,
+        "min_delay": 3,
+        "max_delay": 25,
+        "mean_gap_ms": 25.0,
+        "erasure_lag_ms": 40.0,
+        "settle_ms": 900.0,
+        "idle_heartbeat_ms": 50.0,
+        "empty_block_interval_ticks": 120,
+        "fanout": 2,
+    },
+    smoke={"records": 24, "settle_ms": 600.0},
+)
+def _gdpr_erasure(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Section II's erasure timeline on virtual time.
+
+    Personal-data records arrive on the workload's seeded timeline; each
+    data subject's Art. 17 request fires at its scheduled stream position
+    (requests whose position falls after the stream are flushed once the
+    stream ends).  The idle heartbeat keeps summarisation cycles running
+    after traffic stops, so every approved erasure is eventually *executed*
+    — and the report's virtual-millisecond latency histogram captures the
+    paper's delayed-deletion bound (Section IV-D3) under real message delay.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=_workload_chain_config(params),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    workload = GdprErasureWorkload(
+        num_records=int(params["records"]),
+        num_subjects=int(params["subjects"]),
+        erasure_probability=float(params["erasure_probability"]),
+        min_delay=int(params["min_delay"]),
+        max_delay=int(params["max_delay"]),
+        seed=seed + 17,
+    )
+    subjects = {case.record_index: case.subject for case in workload.cases()}
+    erasures_due = workload.erasure_schedule()
+    references: dict[int, Any] = {}
+    flushed: list[int] = []
+
+    driver = simulator.drive_workload(
+        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
+    )
+
+    def erase(record_index: int) -> None:
+        reference = references.get(record_index)
+        if reference is not None:
+            driver.request_deletion(
+                reference, subjects[record_index], reason="Art. 17 erasure request"
+            )
+
+    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+        if receipt.ok and receipt.reference is not None:
+            references[int(event.data["record_index"])] = receipt.reference
+        for due in erasures_due.get(position, []):
+            erase(due)
+
+    def flush_late_erasures() -> None:
+        # Erasure positions beyond the stream: the data subjects come back
+        # after the write traffic ended and still exercise their right.
+        for position in sorted(erasures_due):
+            if position >= workload.num_records:
+                for due in sorted(erasures_due[position]):
+                    flushed.append(due)
+                    erase(due)
+
+    completion: dict[str, float] = {}
+
+    def after_traffic() -> None:
+        # Anchored at *actual* completion: under backlog (arrivals faster
+        # than the service round trip) traffic finishes past the nominal
+        # horizon, and late erasures / settle heartbeats must follow it.
+        completion["at_ms"] = kernel.now
+        kernel.schedule(
+            float(params["erasure_lag_ms"]), flush_late_erasures, label="late-erasures"
+        )
+        _book_idle_heartbeat(
+            simulator, params, until=kernel.now + float(params["settle_ms"])
+        )
+
+    driver.on_submitted = on_submitted
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "erasures_due": sum(len(due) for due in erasures_due.values()),
+        "erasures_after_stream": len(flushed),
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "supply-chain-recall",
+    "product stages with best-before expiry on simulated time; a regulator recall mid-stream",
+    defaults={
+        "anchors": 3,
+        "products": 16,
+        "stations": 5,
+        "shelf_life_ticks": 40,
+        "expiry_ms_per_tick": 12.0,
+        "recall_rate": 0.25,
+        "mean_gap_ms": 12.0,
+        "settle_ms": 1400.0,
+        "idle_heartbeat_ms": 60.0,
+        "empty_block_interval_ticks": 150,
+        "fanout": 2,
+    },
+    smoke={"products": 8, "settle_ms": 900.0},
+)
+def _supply_chain_recall(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Industry-4.0 product tracking (Section VI) under simulated time.
+
+    Every stage entry carries a best-before bound expressed in workload
+    ticks; the driver rescales it into virtual milliseconds
+    (``expiry_ms_per_tick``) so expiry is decided by the same simulated
+    clock every replica reads — expired products vanish from the chain
+    without any deletion request.  A regulator (holder of the quorum master
+    signature) additionally recalls a seeded fraction of products the
+    moment their final stage ships, deleting the recalled product's whole
+    trail on request.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=_workload_chain_config(params),
+        admins=("REGULATOR",),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    workload = SupplyChainWorkload(
+        num_products=int(params["products"]),
+        shelf_life_ticks=int(params["shelf_life_ticks"]),
+        stations=int(params["stations"]),
+        seed=seed + 29,
+    )
+    recall_rng = random.Random(seed + 31)
+    recalled = {
+        f"PRODUCT-{index:05d}"
+        for index in range(workload.num_products)
+        if recall_rng.random() < float(params["recall_rate"])
+    }
+    product_refs: dict[str, list[Any]] = {}
+    recall_requests = 0
+
+    driver = simulator.drive_workload(
+        workload,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
+        expiry_ms_per_tick=float(params["expiry_ms_per_tick"]),
+    )
+    final_stage = workload.stages[-1]
+
+    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+        nonlocal recall_requests
+        product = event.data.get("product")
+        if product is None or not receipt.ok or receipt.reference is None:
+            return
+        product_refs.setdefault(product, []).append(receipt.reference)
+        if product in recalled and event.data.get("stage") == final_stage:
+            for reference in product_refs[product]:
+                recall_requests += 1
+                driver.request_deletion(
+                    reference, "REGULATOR", reason=f"recall of {product}"
+                )
+
+    completion: dict[str, float] = {}
+
+    def after_traffic() -> None:
+        completion["at_ms"] = kernel.now
+        _book_idle_heartbeat(
+            simulator, params, until=kernel.now + float(params["settle_ms"])
+        )
+
+    driver.on_submitted = on_submitted
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    # Which product trails are fully gone (expired or recalled) is read
+    # through the client *before* finalising, so the lookups' virtual time
+    # is part of the deterministic run.
+    vanished = sum(
+        1
+        for product, refs in sorted(product_refs.items())
+        if all(driver.client.find_entry(reference) is None for reference in refs)
+    )
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "recalled_products": sorted(recalled),
+        "recall_requests": recall_requests,
+        "products_fully_vanished": vanished,
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "vehicle-telemetry",
+    "workshop telemetry on a lossy network; decommissioning triggers authority deletions",
+    defaults={
+        "anchors": 4,
+        "vehicles": 10,
+        "events_per_vehicle": 6,
+        "decommission_fraction": 0.4,
+        "workshops": 4,
+        "mean_gap_ms": 18.0,
+        "loss_rate": 0.03,
+        "anti_entropy_interval_ms": 120.0,
+        "settle_ms": 1000.0,
+        "idle_heartbeat_ms": 60.0,
+        "empty_block_interval_ticks": 140,
+        "fanout": 2,
+    },
+    smoke={"vehicles": 6, "events_per_vehicle": 4, "settle_ms": 800.0},
+)
+def _vehicle_telemetry(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Vehicle life-cycle documentation (Section VI) on a lossy network.
+
+    Workshops submit maintenance telemetry; when the registration authority
+    decommissions a vehicle it requests deletion of the vehicle's entire
+    maintenance trail (the admin path of Section IV-D1).  The transport
+    randomly loses messages, so replicas genuinely miss announcements —
+    periodic anti-entropy digests detect and repair the gaps, and the final
+    report shows convergence despite the loss.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=_workload_chain_config(params),
+        loss_rate=float(params["loss_rate"]),
+        admins=("REGISTRATION-AUTHORITY",),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    workload = VehicleLifecycleWorkload(
+        num_vehicles=int(params["vehicles"]),
+        events_per_vehicle=int(params["events_per_vehicle"]),
+        decommission_fraction=float(params["decommission_fraction"]),
+        workshops=int(params["workshops"]),
+        seed=seed + 41,
+    )
+    vehicle_refs: dict[str, list[Any]] = {}
+    decommissioned: list[str] = []
+
+    driver = simulator.drive_workload(
+        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
+    )
+
+    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+        vin = event.data.get("vin")
+        if vin is None or not receipt.ok or receipt.reference is None:
+            return
+        if event.data.get("maintenance") == "decommissioned":
+            decommissioned.append(vin)
+            for reference in vehicle_refs.get(vin, []):
+                driver.request_deletion(
+                    reference, "REGISTRATION-AUTHORITY", reason=f"{vin} decommissioned"
+                )
+        else:
+            vehicle_refs.setdefault(vin, []).append(receipt.reference)
+
+    completion: dict[str, float] = {}
+
+    def after_traffic() -> None:
+        completion["at_ms"] = kernel.now
+        settle = float(params["settle_ms"])
+        _book_idle_heartbeat(simulator, params, until=kernel.now + settle)
+        # Anti-entropy outlives the idle heartbeat by a few quiet rounds:
+        # while the heartbeat runs, empty blocks keep moving the producer's
+        # head, so a straggler's pull can land perpetually one block short —
+        # the quiet tail lets the last rounds converge on a stationary head.
+        quiet = 4 * float(params["anti_entropy_interval_ms"])
+        simulator.enable_anti_entropy(
+            interval_ms=float(params["anti_entropy_interval_ms"]),
+            until=kernel.now + settle + quiet,
+        )
+
+    driver.on_submitted = on_submitted
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "decommissioned_vehicles": decommissioned,
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "coin-economy",
+    "a coin-transfer graph through a partition and heal; lost-wallet outputs reclaimed after",
+    defaults={
+        "anchors": 4,
+        "transfers": 40,
+        "wallets": 8,
+        "spend_probability": 0.6,
+        "lost_wallet_fraction": 0.25,
+        "mean_gap_ms": 25.0,
+        "partition_at_ms": 300.0,
+        "heal_at_ms": 700.0,
+        "anti_entropy_interval_ms": 110.0,
+        "recovery_lag_ms": 150.0,
+        "settle_ms": 900.0,
+        "idle_heartbeat_ms": 60.0,
+        "empty_block_interval_ticks": 130,
+        "fanout": 2,
+    },
+    smoke={"transfers": 18, "partition_at_ms": 150.0, "heal_at_ms": 400.0, "settle_ms": 700.0},
+)
+def _coin_economy(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Cryptocurrency transfers (Sections I and V-A) through a partition.
+
+    The transfer graph arrives on its seeded timeline while a partition
+    splits the quorum mid-traffic; clients keep submitting (the producer
+    stays reachable) and the cut-off replicas converge through anti-entropy
+    after the heal.  Once traffic ends, a recovery admin reclaims the
+    outputs parked on lost wallets — transfers received by a lost wallet
+    and never spent — modelling Section V-A's "coins out of the monetary
+    cycle" discussion.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=_workload_chain_config(params),
+        admins=("RECOVERY",),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    workload = CoinTransferWorkload(
+        num_transfers=int(params["transfers"]),
+        num_wallets=int(params["wallets"]),
+        spend_probability=float(params["spend_probability"]),
+        lost_wallet_fraction=float(params["lost_wallet_fraction"]),
+        seed=seed + 53,
+    )
+    lost = workload.lost_wallets()
+    transfers = workload.transfers()
+    spent_ids = {transfer.spends for transfer in transfers if transfer.spends is not None}
+    reclaimable = [
+        transfer.transfer_id
+        for transfer in transfers
+        if transfer.receiver in lost and transfer.transfer_id not in spent_ids
+    ]
+    transfer_refs: dict[int, Any] = {}
+
+    driver = simulator.drive_workload(
+        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
+    )
+
+    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+        if receipt.ok and receipt.reference is not None:
+            transfer_refs[int(event.data["transfer_id"])] = receipt.reference
+
+    ids = simulator.anchor_ids
+    near, far = ids[: len(ids) // 2], ids[len(ids) // 2 :]
+    simulator.schedule_partition(near, far, float(params["partition_at_ms"]))
+    simulator.schedule_heal(float(params["heal_at_ms"]))
+    recovered: list[int] = []
+
+    def reclaim_lost_outputs() -> None:
+        for transfer_id in reclaimable:
+            reference = transfer_refs.get(transfer_id)
+            if reference is None:
+                continue
+            receipt = driver.request_deletion(
+                reference, "RECOVERY", reason="lost-key recovery (Section V-A)"
+            )
+            if receipt.approved:
+                recovered.append(transfer_id)
+
+    completion: dict[str, float] = {}
+
+    def after_traffic() -> None:
+        completion["at_ms"] = kernel.now
+        settle = float(params["settle_ms"])
+        kernel.schedule(
+            float(params["recovery_lag_ms"]),
+            reclaim_lost_outputs,
+            label="lost-wallet-recovery",
+        )
+        _book_idle_heartbeat(simulator, params, until=kernel.now + settle)
+        # Quiet convergence tail, as in vehicle-telemetry: the last
+        # anti-entropy rounds run against a stationary head.
+        quiet = 4 * float(params["anti_entropy_interval_ms"])
+        simulator.enable_anti_entropy(
+            interval_ms=float(params["anti_entropy_interval_ms"]),
+            until=kernel.now + settle + quiet,
+        )
+
+    driver.on_submitted = on_submitted
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "lost_wallets": sorted(lost),
+        "reclaimable_outputs": len(reclaimable),
+        "recovered_outputs": len(recovered),
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
         "heads": simulator.all_heads(),
         "replicas_identical": simulator.replicas_identical(),
     }

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Any, Optional
 if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.service.remote import RemoteLedgerClient
     from repro.sync.antientropy import AntiEntropyService
+    from repro.workloads.base import Workload
+    from repro.workloads.driver import ScenarioWorkloadDriver, SubmitHook
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.consensus.election import HeadElection
@@ -62,6 +64,10 @@ class SimulationReport:
     transport: dict[str, Any] = field(default_factory=dict)
     kernel: dict[str, Any] = field(default_factory=dict)
     anti_entropy: dict[str, Any] = field(default_factory=dict)
+    #: Per-workload counters (entries, deletions, virtual-ms deletion
+    #: latency), keyed by workload name — filled by :meth:`finalize` for
+    #: every driver attached via :meth:`NetworkSimulator.drive_workload`.
+    workloads: dict[str, Any] = field(default_factory=dict)
     final_chain_statistics: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -78,6 +84,7 @@ class SimulationReport:
             "transport": dict(self.transport),
             "kernel": dict(self.kernel),
             "anti_entropy": dict(self.anti_entropy),
+            "workloads": dict(self.workloads),
             "final_chain_statistics": dict(self.final_chain_statistics),
         }
 
@@ -119,6 +126,7 @@ class NetworkSimulator:
             latency=latency, kernel=kernel, loss_rate=loss_rate, loss_seed=loss_seed
         )
         self.anti_entropy: Optional["AntiEntropyService"] = None
+        self._workload_drivers: list["ScenarioWorkloadDriver"] = []
         self.report = SimulationReport()
 
         self.anchor_ids = [f"anchor-{index}" for index in range(anchor_count)]
@@ -277,6 +285,52 @@ class NetworkSimulator:
         )
         self.anti_entropy.start(until=until)
         return self.anti_entropy
+
+    # ------------------------------------------------------------------ #
+    # Workload timelines (repro.workloads.driver)
+    # ------------------------------------------------------------------ #
+
+    def drive_workload(
+        self,
+        workload: "Workload",
+        *,
+        mean_gap_ms: float,
+        jitter: float = 0.5,
+        ms_per_tick: float = 1.0,
+        start_at_ms: float = 0.0,
+        expiry_ms_per_tick: Optional[float] = None,
+        on_submitted: Optional["SubmitHook"] = None,
+        anchor_id: Optional[str] = None,
+    ) -> "ScenarioWorkloadDriver":
+        """Bind a workload timeline to this deployment (kernel required).
+
+        Builds a :class:`~repro.workloads.driver.ScenarioWorkloadDriver`
+        around a :class:`~repro.service.remote.RemoteLedgerClient` for
+        ``anchor_id`` (default: the producer), wired to this deployment's
+        kernel and the producer chain's event bus so deletion latency is
+        measured in virtual milliseconds.  The caller still calls
+        :meth:`~repro.workloads.driver.ScenarioWorkloadDriver.schedule` —
+        after installing any application-level hooks — and advances the
+        kernel; :meth:`finalize` folds the driver's counters into
+        ``report.workloads``.
+        """
+        from repro.workloads.driver import ScenarioWorkloadDriver
+
+        kernel = self._require_kernel()
+        driver = ScenarioWorkloadDriver(
+            workload,
+            self.ledger_client(anchor_id),
+            mean_gap_ms=mean_gap_ms,
+            jitter=jitter,
+            ms_per_tick=ms_per_tick,
+            kernel=kernel,
+            bus=self.producer.chain.bus,
+            start_at_ms=start_at_ms,
+            expiry_ms_per_tick=expiry_ms_per_tick,
+            on_submitted=on_submitted,
+        )
+        self._workload_drivers.append(driver)
+        return driver
 
     # ------------------------------------------------------------------ #
     # Producer failover (Section V-B4)
@@ -458,6 +512,16 @@ class NetworkSimulator:
             self.report.kernel = self.kernel.statistics()
         if self.anti_entropy is not None:
             self.report.anti_entropy = self.anti_entropy.statistics()
+        for driver in self._workload_drivers:
+            driver.close()
+            # Two drivers of the same workload type must not overwrite each
+            # other: disambiguate repeat names deterministically.
+            key = driver.workload.name
+            suffix = 2
+            while key in self.report.workloads:
+                key = f"{driver.workload.name}#{suffix}"
+                suffix += 1
+            self.report.workloads[key] = driver.stats.as_dict()
         self.report.transport = self.transport.statistics.as_dict()
         self.report.final_chain_statistics = self.producer.chain.statistics()
         return self.report

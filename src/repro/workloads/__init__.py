@@ -9,6 +9,7 @@ from repro.workloads.base import (
     replay,
 )
 from repro.workloads.coins import CoinTransferWorkload, Transfer
+from repro.workloads.driver import ScenarioWorkloadDriver, WorkloadRunStats
 from repro.workloads.gdpr import ErasureCase, GdprErasureWorkload
 from repro.workloads.logging import (
     PAPER_USERS,
@@ -27,7 +28,9 @@ __all__ = [
     "arrival_schedule",
     "replay",
     "CoinTransferWorkload",
+    "ScenarioWorkloadDriver",
     "Transfer",
+    "WorkloadRunStats",
     "ErasureCase",
     "GdprErasureWorkload",
     "PAPER_USERS",

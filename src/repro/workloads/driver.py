@@ -1,0 +1,372 @@
+"""Workload → scenario bridge: drive any workload on the event kernel.
+
+:func:`~repro.workloads.base.replay` executes a workload *synchronously* —
+event after event, no notion of time between them.  The paper's evaluation
+is about application workloads (erasure requests, audit logs, telemetry)
+exercising selective deletion under realistic network conditions, so this
+module supplies the missing bridge: :class:`ScenarioWorkloadDriver` runs a
+workload through :func:`~repro.workloads.base.arrival_schedule` and books
+every :class:`~repro.workloads.base.WorkloadEvent` as a *kernel event* at
+its virtual arrival time, executed against any
+:class:`~repro.service.client.LedgerClient` — in the named scenarios a
+:class:`~repro.service.remote.RemoteLedgerClient` bound to a replicated
+anchor deployment, so deletion latency, marker shifts and anti-entropy
+interact with message latency, loss and partitions on virtual time (the
+trace-driven simulation style of the BlockSim-family simulators).
+
+Without a kernel the driver degrades to an ordered immediate replay
+(:meth:`ScenarioWorkloadDriver.run`), which is what the conformance suite
+uses to pin replay-vs-driver statistics identity: the driver performs
+exactly the protocol operations ``replay`` performs, in the same order.
+
+Determinism: the timeline is a pure function of the workload seed
+(``arrival_schedule``), kernel execution order is the kernel's seeded
+tie-break, and the collected statistics are plain rounded numbers — so a
+scenario built on this driver stays byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.events import ChainEvent, EventBus, EventType, Subscription
+from repro.service.client import (
+    DeletionReceipt,
+    LedgerClient,
+    LedgerError,
+    SubmitReceipt,
+    TargetLike,
+)
+from repro.workloads.base import EventKind, Workload, WorkloadEvent, arrival_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel is optional)
+    from repro.network.kernel import EventKernel
+
+#: Hook invoked after every ENTRY submission: ``(position, event, receipt)``.
+#: Scenarios use it for application-level reactions the generic event stream
+#: cannot carry — looking up the real reference of a GDPR record before its
+#: erasure, translating a vehicle decommissioning into deletion requests.
+SubmitHook = Callable[[int, WorkloadEvent, SubmitReceipt], None]
+
+
+@dataclass
+class WorkloadRunStats:
+    """Per-workload counters collected while the driver executes.
+
+    ``deletion_latency_ms`` values are *virtual* milliseconds between an
+    approved deletion request and the marker shift that physically cut the
+    target off — only measured on kernel deployments (the chain's event bus
+    provides the execution signal, the kernel provides the clock).
+    """
+
+    workload: str = ""
+    events_total: int = 0
+    entries_submitted: int = 0
+    entries_rejected: int = 0
+    deletions_requested: int = 0
+    #: Approvals *acknowledged to the client*.  On a lossy transport the
+    #: response of an applied request can be lost, so chain-observed
+    #: ``deletions_executed`` may legitimately exceed this counter (the
+    #: at-least-once gap between the client plane and the chain plane).
+    deletions_approved: int = 0
+    deletions_executed: int = 0
+    #: Approved deletions whose physical cut-off has not been observed —
+    #: chain-observed when the driver tracks the event bus, the
+    #: approved-minus-executed difference otherwise.
+    deletions_pending: int = 0
+    idle_events: int = 0
+    idle_blocks: int = 0
+    #: IDLE events whose tick round trip failed (e.g. the response was lost
+    #: on a lossy transport) — the timeline continues regardless.
+    idle_rejected: int = 0
+    blocks_sealed: int = 0
+    horizon_ms: float = 0.0
+    deletion_latency_ms: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic plain-dict view for scenario results and benchmarks."""
+        latencies = self.deletion_latency_ms
+        return {
+            "workload": self.workload,
+            "events_total": self.events_total,
+            "entries_submitted": self.entries_submitted,
+            "entries_rejected": self.entries_rejected,
+            "deletions_requested": self.deletions_requested,
+            "deletions_approved": self.deletions_approved,
+            "deletions_executed": self.deletions_executed,
+            "deletions_pending": self.deletions_pending,
+            "idle_events": self.idle_events,
+            "idle_blocks": self.idle_blocks,
+            "idle_rejected": self.idle_rejected,
+            "blocks_sealed": self.blocks_sealed,
+            "horizon_ms": round(self.horizon_ms, 6),
+            "deletion_latency_ms": {
+                "count": len(latencies),
+                "mean": round(sum(latencies) / len(latencies), 6) if latencies else 0.0,
+                "min": round(min(latencies), 6) if latencies else 0.0,
+                "max": round(max(latencies), 6) if latencies else 0.0,
+            },
+        }
+
+
+class ScenarioWorkloadDriver:
+    """Schedules a workload's events on the kernel against a ledger client.
+
+    Parameters
+    ----------
+    workload:
+        Any :class:`~repro.workloads.base.Workload`; its seed fully
+        determines the event stream *and* the arrival timeline.
+    client:
+        The :class:`LedgerClient` every event executes against.  Scenarios
+        pass a :class:`~repro.service.remote.RemoteLedgerClient`; the
+        conformance suite passes local and kernel-less remote clients.
+    mean_gap_ms / jitter / ms_per_tick:
+        Forwarded to :func:`arrival_schedule` — the arrival rate knobs.
+    kernel:
+        The :class:`~repro.network.kernel.EventKernel` to book events on.
+        ``None`` selects the kernel-less immediate mode (:meth:`run`).
+    bus:
+        The producer chain's :class:`~repro.core.events.EventBus`.  When
+        given together with a kernel, the driver subscribes to the typed
+        deletion events and measures request→execution latency in virtual
+        milliseconds.
+    start_at_ms:
+        Offset added to every arrival time (traffic does not start at the
+        beginning of virtual time).
+    one_block_per_entry:
+        Seal one block per submission (the paper's evaluation model), as
+        :func:`~repro.workloads.base.replay` does.
+    expiry_ms_per_tick:
+        When set, temporary-entry bounds (``expires_at_time``, expressed in
+        workload ticks) are rescaled into virtual milliseconds — chains on a
+        :class:`~repro.core.clock.SimulationClock` measure time in kernel
+        milliseconds, not workload ticks.  ``None`` (the default) passes the
+        bounds through unchanged, which keeps kernel-less runs identical to
+        ``replay``.
+    on_submitted:
+        Optional :data:`SubmitHook` for application-level reactions.
+
+    Two further hooks are plain attributes (set them before
+    :meth:`schedule` / :meth:`run`):
+
+    * :attr:`on_submitted` — see above;
+    * :attr:`on_finished` — called once, right after the final timeline
+      event completes.  Under backlog the *actual* completion time can lie
+      well past the nominal horizon, so post-traffic machinery (settle
+      heartbeats, follow-up requests) must anchor here, not at
+      ``schedule()``'s return value.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        client: LedgerClient,
+        *,
+        mean_gap_ms: float,
+        jitter: float = 0.5,
+        ms_per_tick: float = 1.0,
+        kernel: Optional["EventKernel"] = None,
+        bus: Optional[EventBus] = None,
+        start_at_ms: float = 0.0,
+        one_block_per_entry: bool = True,
+        expiry_ms_per_tick: Optional[float] = None,
+        on_submitted: Optional[SubmitHook] = None,
+    ) -> None:
+        if start_at_ms < 0:
+            raise ValueError("start_at_ms must be non-negative")
+        if expiry_ms_per_tick is not None and expiry_ms_per_tick <= 0:
+            raise ValueError("expiry_ms_per_tick must be positive when set")
+        self.workload = workload
+        self.client = client
+        self.kernel = kernel
+        self.start_at_ms = float(start_at_ms)
+        self.one_block_per_entry = one_block_per_entry
+        self.expiry_ms_per_tick = expiry_ms_per_tick
+        self.on_submitted = on_submitted
+        #: Called once after the final timeline event has executed.
+        self.on_finished: Optional[Callable[[], None]] = None
+        #: The ``(at_ms, event)`` timeline — a pure function of the workload
+        #: seed and the arrival-rate parameters.
+        self.timeline: list[tuple[float, WorkloadEvent]] = [
+            (self.start_at_ms + at, event)
+            for at, event in arrival_schedule(
+                workload, mean_gap_ms=mean_gap_ms, jitter=jitter, ms_per_tick=ms_per_tick
+            )
+        ]
+        self.stats = WorkloadRunStats(workload=workload.name)
+        self.stats.events_total = len(self.timeline)
+        if self.timeline:
+            self.stats.horizon_ms = self.timeline[-1][0]
+        self._scheduled = False
+        #: reference key -> virtual request time, for latency pairing.
+        self._deletion_requested_at: dict[tuple[int, int], float] = {}
+        self._latency_subscription: Optional[Subscription] = None
+        self._bus = bus
+        if bus is not None and kernel is not None:
+            self._latency_subscription = bus.subscribe(
+                self._on_deletion_event,
+                types=(EventType.DELETION_REQUESTED, EventType.DELETION_EXECUTED),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Execution modes
+    # ------------------------------------------------------------------ #
+
+    def schedule(self) -> float:
+        """Book the workload timeline on the kernel; returns the horizon.
+
+        The horizon is the arrival time of the last event — scenarios
+        typically ``run_until`` some settle margin past it so replication,
+        anti-entropy and delayed deletions have virtual time to finish.
+
+        Events are *chain-scheduled*: event ``n+1`` is booked once event
+        ``n`` has completed, at ``max(its arrival time, now)``.  Booking the
+        whole timeline up front would let a request whose transport round
+        trip overruns the next arrival execute that next event *nested
+        inside itself* — at high arrival rates the nesting chains through
+        the entire stream and overflows the interpreter stack.  Chaining
+        bounds the depth at one event and models a driver client that
+        issues requests sequentially: arrivals faster than the service's
+        round trip queue up as backlog instead of re-entering it.
+        """
+        if self.kernel is None:
+            raise ValueError("schedule() requires a kernel; use run() without one")
+        if self._scheduled:
+            raise ValueError("the workload timeline is already scheduled")
+        self._scheduled = True
+        self._schedule_position(0)
+        return self.stats.horizon_ms
+
+    def _schedule_position(self, position: int) -> None:
+        if position >= len(self.timeline):
+            if self.on_finished is not None:
+                self.on_finished()
+            return
+        kernel = self.kernel
+        assert kernel is not None
+        at_ms, event = self.timeline[position]
+
+        def fire() -> None:
+            try:
+                self._execute(position, event)
+            finally:
+                # Even a failing event must not cut the rest of the
+                # timeline short.
+                self._schedule_position(position + 1)
+
+        kernel.schedule_at(
+            max(at_ms, kernel.now),
+            fire,
+            label=f"workload:{self.workload.name}:{event.kind.value}:{position}",
+        )
+
+    def run(self) -> WorkloadRunStats:
+        """Execute the timeline immediately, in arrival order (no kernel).
+
+        This is the parity mode: the driver performs exactly the protocol
+        operations :func:`~repro.workloads.base.replay` performs, in the
+        same order, so both leave identical final chain statistics behind
+        (pinned by ``tests/test_workload_contract.py``).
+        """
+        if self.kernel is not None:
+            raise ValueError("run() is the kernel-less mode; use schedule() with a kernel")
+        for position, (_, event) in enumerate(self.timeline):
+            self._execute(position, event)
+        if self.on_finished is not None:
+            self.on_finished()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Event execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, position: int, event: WorkloadEvent) -> None:
+        if event.kind is EventKind.ENTRY:
+            receipt = self.client.submit(
+                event.data,
+                event.author,
+                expires_at_time=self._rescale_expiry(event.expires_at_time),
+                expires_at_block=event.expires_at_block,
+                seal=self.one_block_per_entry,
+            )
+            self.stats.entries_submitted += 1
+            if not receipt.ok:
+                self.stats.entries_rejected += 1
+            elif receipt.sealed:
+                self.stats.blocks_sealed += 1
+            if self.on_submitted is not None:
+                self.on_submitted(position, event, receipt)
+        elif event.kind is EventKind.DELETION:
+            assert event.target is not None
+            self.request_deletion(event.target, event.author)
+        else:
+            self.stats.idle_events += 1
+            try:
+                idle_block = self.client.tick(event.idle_ticks)
+            except LedgerError:
+                # Unlike submit/request_deletion, the tick protocol path
+                # raises on a failed round trip (a lost response on a lossy
+                # transport).  One lost tick must not abort the whole
+                # timeline — record it and carry on.
+                self.stats.idle_rejected += 1
+                return
+            if idle_block:
+                self.stats.idle_blocks += 1
+                self.stats.blocks_sealed += 1
+
+    def request_deletion(
+        self, target: TargetLike, author: str, *, reason: str = ""
+    ) -> DeletionReceipt:
+        """Submit a deletion request through the driver (counted + timed).
+
+        Scenario hooks route their application-level erasures through this
+        method so the per-workload counters and the virtual-time latency
+        tracker see them exactly like stream-borne DELETION events.
+        """
+        receipt = self.client.request_deletion(target, author, reason=reason)
+        self.stats.deletions_requested += 1
+        if receipt.ok:
+            self.stats.blocks_sealed += 1
+            if receipt.approved:
+                self.stats.deletions_approved += 1
+        if self._latency_subscription is None:
+            self.stats.deletions_pending = (
+                self.stats.deletions_approved - self.stats.deletions_executed
+            )
+        return receipt
+
+    def _rescale_expiry(self, expires_at_time: Optional[int]) -> Optional[int]:
+        if expires_at_time is None or self.expiry_ms_per_tick is None:
+            return expires_at_time
+        return int(round(self.start_at_ms + expires_at_time * self.expiry_ms_per_tick))
+
+    # ------------------------------------------------------------------ #
+    # Virtual-time deletion latency
+    # ------------------------------------------------------------------ #
+
+    def _on_deletion_event(self, event: ChainEvent) -> None:
+        assert self.kernel is not None
+        reference = event.payload.get("reference") or {}
+        key = (reference.get("block_number"), reference.get("entry_number"))
+        if None in key:
+            return
+        if event.kind == EventType.DELETION_REQUESTED.value:
+            if event.payload.get("approved"):
+                # The first approved request for a target starts the clock.
+                self._deletion_requested_at.setdefault(key, self.kernel.now)
+        elif event.kind == EventType.DELETION_EXECUTED.value:
+            requested_at = self._deletion_requested_at.pop(key, None)
+            if requested_at is not None:
+                self.stats.deletions_executed += 1
+                self.stats.deletion_latency_ms.append(
+                    round(self.kernel.now - requested_at, 6)
+                )
+        self.stats.deletions_pending = len(self._deletion_requested_at)
+
+    def close(self) -> None:
+        """Detach the latency subscription (idempotent)."""
+        if self._latency_subscription is not None and self._bus is not None:
+            self._bus.unsubscribe(self._latency_subscription)
+            self._latency_subscription = None

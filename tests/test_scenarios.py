@@ -22,10 +22,13 @@ from repro.network import (
 
 
 class TestDeterminismPin:
+    """The determinism matrix: every scenario, several seeds, two runs each."""
+
+    @pytest.mark.parametrize("seed", [13, 29])
     @pytest.mark.parametrize("name", scenario_names())
-    def test_same_scenario_and_seed_yield_byte_identical_reports(self, name):
-        first = run_scenario(name, seed=13, smoke=True)
-        second = run_scenario(name, seed=13, smoke=True)
+    def test_same_scenario_and_seed_yield_byte_identical_reports(self, name, seed):
+        first = run_scenario(name, seed=seed, smoke=True)
+        second = run_scenario(name, seed=seed, smoke=True)
         assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
 
     def test_different_seeds_differ_somewhere(self):
@@ -40,6 +43,78 @@ class TestDeterminismPin:
             run_scenario("no-such-scenario")
         with pytest.raises(ScenarioError):
             run_scenario("bursty-traffic", smoke=True, no_such_param=1)
+
+    def test_unknown_parameter_error_names_key_and_lists_valid_params(self):
+        """A typo'd parameter must be called out, with the fix suggested."""
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenario("gdpr-erasure", recrods=10)
+        message = str(excinfo.value)
+        assert "'recrods'" in message  # the offending key, named
+        assert "'records'" in message  # the valid parameters, listed
+        assert "'mean_gap_ms'" in message
+
+    def test_smoke_keys_outside_defaults_are_rejected_at_registration(self):
+        """A typo'd smoke key must fail loudly, not become a silent param."""
+        from repro.network.scenarios import SCENARIOS, scenario
+
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario(
+                "typo-smoke-check",
+                "registration-time validation probe",
+                defaults={"events": 10},
+                smoke={"evnets": 2},
+            )(lambda seed, params: {})
+        assert "'evnets'" in str(excinfo.value)
+        assert "typo-smoke-check" not in SCENARIOS
+
+
+class TestCatalogueDocsSync:
+    """docs/ARCHITECTURE.md's scenario table mirrors the live catalogue."""
+
+    @pytest.fixture(scope="class")
+    def documented_rows(self):
+        from pathlib import Path
+
+        handbook = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
+        rows = {}
+        in_catalogue = False
+        for line in handbook.read_text(encoding="utf-8").splitlines():
+            # Only the table under "### Scenario catalogue" is the pinned
+            # one — other tables in the handbook are out of scope.
+            if line.startswith("#"):
+                in_catalogue = line.strip() == "### Scenario catalogue"
+                continue
+            if not in_catalogue:
+                continue
+            cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+            if len(cells) == 3 and cells[0].startswith("`") and cells[0].endswith("`"):
+                name = cells[0].strip("`")
+                params = {part.strip().strip("`") for part in cells[1].split(",") if part.strip()}
+                rows[name] = (params, cells[2])
+        assert rows, "the '### Scenario catalogue' table was not found in docs/ARCHITECTURE.md"
+        return rows
+
+    def test_every_scenario_is_documented_with_exact_params_and_description(
+        self, documented_rows
+    ):
+        from repro.network.scenarios import scenario_catalogue
+
+        for entry in scenario_catalogue():
+            assert entry.name in documented_rows, (
+                f"scenario {entry.name!r} missing from the docs/ARCHITECTURE.md catalogue table"
+            )
+            params, description = documented_rows[entry.name]
+            assert params == set(entry.defaults), (
+                f"documented parameters of {entry.name!r} drifted: "
+                f"docs {sorted(params)} vs registered {sorted(entry.defaults)}"
+            )
+            assert description == entry.description, (
+                f"documented description of {entry.name!r} drifted from the registered one"
+            )
+
+    def test_no_stale_scenarios_are_documented(self, documented_rows):
+        stale = set(documented_rows) - set(scenario_names())
+        assert not stale, f"docs table rows for unregistered scenarios: {sorted(stale)}"
 
 
 class TestScheduledFaults:
@@ -149,6 +224,47 @@ class TestScenarioOutcomes:
         assert nodes["bootstrap_bytes"] > 0
         # The lossy transport genuinely ate messages along the way.
         assert result["report"]["transport"]["lost"] > 0
+
+    def test_gdpr_erasure_executes_requests_with_virtual_latency(self):
+        result = run_scenario("gdpr-erasure", seed=7, smoke=True)
+        workload = result["report"]["workloads"]["gdpr-erasure"]
+        assert workload["entries_submitted"] > 0
+        assert workload["deletions_requested"] > 0
+        assert workload["deletions_executed"] > 0
+        # Every executed deletion contributed one virtual-ms latency sample.
+        assert workload["deletion_latency_ms"]["count"] == workload["deletions_executed"]
+        assert workload["deletion_latency_ms"]["max"] > 0
+        assert result["replicas_identical"] is True
+
+    def test_supply_chain_recall_expires_and_recalls_products(self):
+        result = run_scenario("supply-chain-recall", seed=7, smoke=True)
+        assert result["recall_requests"] > 0
+        # More product trails vanished than were recalled: best-before
+        # expiry on simulated time removed entries without any request.
+        assert result["products_fully_vanished"] > len(result["recalled_products"])
+        assert result["replicas_identical"] is True
+
+    def test_vehicle_telemetry_converges_despite_loss(self):
+        result = run_scenario("vehicle-telemetry", seed=7, smoke=True)
+        # The lossy transport genuinely ate messages ...
+        assert result["report"]["transport"]["lost"] > 0
+        # ... anti-entropy repaired the gaps ...
+        assert result["report"]["anti_entropy"]["rounds"] > 0
+        assert result["replicas_identical"] is True
+        # ... and decommissioning produced authority deletions.
+        assert result["decommissioned_vehicles"]
+        workload = result["report"]["workloads"]["vehicle-lifecycle"]
+        assert workload["deletions_requested"] > 0
+        assert workload["deletions_approved"] > 0
+
+    def test_coin_economy_reclaims_lost_outputs_after_partition(self):
+        result = run_scenario("coin-economy", seed=7, smoke=True)
+        assert result["lost_wallets"]
+        assert result["reclaimable_outputs"] > 0
+        assert result["recovered_outputs"] == result["reclaimable_outputs"]
+        workload = result["report"]["workloads"]["coin-transfers"]
+        assert workload["deletions_approved"] == result["recovered_outputs"]
+        assert result["replicas_identical"] is True
 
     def test_geo_latency_profiles_pay_for_distance(self):
         result = run_scenario("geo-latency-profiles", seed=7, smoke=True)

@@ -245,3 +245,52 @@ class TestCli:
     def test_compare_command(self, capsys):
         assert cli_main(["compare", "--records", "30"]) == 0
         assert "selective-deletion" in capsys.readouterr().out
+
+    def test_simulate_command_with_param_override(self, capsys):
+        assert (
+            cli_main(
+                ["simulate", "--scenario", "bursty-traffic", "--smoke", "--param", "bursts=1"]
+            )
+            == 0
+        )
+        assert '"bursts": 1' in capsys.readouterr().out
+
+    def test_simulate_command_rejects_typo_param_with_guidance(self, capsys):
+        status = cli_main(["simulate", "--scenario", "bursty-traffic", "--param", "brsts=1"])
+        assert status == 2
+        captured = capsys.readouterr()
+        assert "'brsts'" in captured.err  # the offending key, named
+        assert "'bursts'" in captured.err  # the valid parameters, listed
+
+    def test_simulate_command_rejects_malformed_param(self, capsys):
+        status = cli_main(["simulate", "--scenario", "bursty-traffic", "--param", "bursts"])
+        assert status == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_simulate_command_rejects_unusable_param_value_cleanly(self, capsys):
+        # A well-named key with a value the scenario cannot use must exit 2
+        # with a message, not escape as a traceback.  A wrong *type* is
+        # rejected up front with the expected type named ...
+        status = cli_main(
+            ["simulate", "--scenario", "gdpr-erasure", "--param", "records=ten"]
+        )
+        assert status == 2
+        captured = capsys.readouterr()
+        assert "expects int" in captured.err and "'ten'" in captured.err
+        assert captured.out == ""  # rejected before anything ran
+        # ... a right-typed value outside the workload's domain exits just
+        # as cleanly once the constructor refuses it.
+        status = cli_main(
+            ["simulate", "--scenario", "gdpr-erasure", "--param", "records=-5"]
+        )
+        assert status == 2
+        assert "rejected the given parameters" in capsys.readouterr().err
+
+    def test_simulate_all_rejects_non_shared_param_before_running(self, capsys):
+        # 'bursts' exists only on bursty-traffic: with --scenario all the
+        # override must be rejected up front — no partial scenario output.
+        status = cli_main(["simulate", "--scenario", "all", "--smoke", "--param", "bursts=1"])
+        assert status == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing ran
+        assert "'bursts'" in captured.err
