@@ -1,0 +1,47 @@
+"""Adversarial node behaviours for kernel deployments.
+
+The paper's security argument (Section V) is about what an *adversary* can
+do to a deletable chain: rewrite summarised history (the 51 % analysis of
+Section V-B1, reproduced analytically in :mod:`repro.analysis.attack`),
+forge or replay deletion requests against the authorization rule of
+Section IV-D1, and desynchronise the quorum.  The scenario catalogue used
+to be entirely benign — latency, loss, partitions, churn.  This package
+supplies the missing byzantine side as *injectable actor roles* that plug
+into a :class:`~repro.network.simulator.NetworkSimulator` deployment:
+
+* :class:`~repro.adversary.actors.EquivocatingProducer` — seals conflicting
+  blocks for the same height and feeds different victims different variants
+  (the fork-inducing behaviour Section IV-B's synchronisation check exists
+  to detect),
+* :class:`~repro.adversary.actors.DeletionForger` — submits deletion
+  requests with an unauthorized author, impersonates entry authors through
+  the simplified signature scheme, and replays captured ``SUBMIT_DELETION``
+  messages; every attempt must die as a *typed* rejection,
+* :class:`~repro.adversary.actors.DigestSpoofer` — advertises fabricated
+  ``SYNC_DIGEST`` heads to bait honest replicas into pulls that can never
+  succeed (anti-entropy's failure containment),
+* :class:`~repro.adversary.actors.ClockSkewedReplica` — re-clocks one
+  replica's :class:`~repro.core.clock.SimulationClock` by a seeded offset,
+  so blocks it produces after a failover stamp skewed timestamps.
+
+Actors keep their own attack counters (:meth:`AdversaryActor.statistics`);
+the simulator pairs them with the quorum's *defense* counters under
+``report["adversary"]`` so every adversarial scenario states both what was
+attempted and what the honest side did about it.
+"""
+
+from repro.adversary.base import AdversaryActor
+from repro.adversary.actors import (
+    ClockSkewedReplica,
+    DeletionForger,
+    DigestSpoofer,
+    EquivocatingProducer,
+)
+
+__all__ = [
+    "AdversaryActor",
+    "ClockSkewedReplica",
+    "DeletionForger",
+    "DigestSpoofer",
+    "EquivocatingProducer",
+]

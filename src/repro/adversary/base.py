@@ -1,0 +1,40 @@
+"""Common shape of adversarial actors.
+
+An adversary is *not* an :class:`~repro.network.node.AnchorNode`: it holds
+no honest replica, follows no protocol contract, and never participates in
+the quorum's summary-hash comparison.  What all actors share is an identity
+on the transport, a deterministic behaviour (every choice derives from the
+scenario seed), and a counter dict describing what they attempted — the
+attack side of the ``report["adversary"]`` block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.transport import InMemoryTransport
+
+
+class AdversaryActor:
+    """Base class: identity, transport access and attack counters."""
+
+    #: Short role name surfaced in reports (overridden by subclasses).
+    kind: str = "abstract"
+
+    def __init__(self, actor_id: str, transport: "InMemoryTransport") -> None:
+        if not actor_id:
+            raise ValueError("adversary actor needs a non-empty id")
+        self.actor_id = actor_id
+        self.transport = transport
+        #: Attack counters; keys are stable strings so reports serialise
+        #: byte-identically across runs.
+        self.stats: dict[str, int] = {}
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        """Increment an attack counter."""
+        self.stats[key] = self.stats.get(key, 0) + by
+
+    def statistics(self) -> dict[str, Any]:
+        """Role name plus the attack counters, keys sorted for determinism."""
+        return {"kind": self.kind, **{key: self.stats[key] for key in sorted(self.stats)}}

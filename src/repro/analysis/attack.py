@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import RedundancyPolicy
 
@@ -96,18 +96,24 @@ def simulate_attack(
     trials: int = 2000,
     max_steps: int = 10_000,
     seed: int = 1337,
+    rng: Optional[random.Random] = None,
 ) -> AttackOutcome:
     """Monte-Carlo race between the attacker and the honest quorum.
 
     In each step one block is produced; it belongs to the attacker with
     probability ``attacker_share``.  The attacker starts ``blocks_to_rewrite``
     blocks behind and wins a trial upon catching up before ``max_steps``.
+
+    The race is driven by an explicit generator: either the caller's ``rng``
+    (shared across calls, e.g. one scenario-seeded stream for a whole
+    adversarial cross-check) or a fresh ``random.Random(seed)``.
     """
     if not 0.0 <= attacker_share <= 1.0:
         raise ValueError("attacker_share must be within [0, 1]")
     if blocks_to_rewrite < 0 or trials <= 0:
         raise ValueError("blocks_to_rewrite must be >= 0 and trials positive")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     successes = 0
     for _ in range(trials):
         deficit = blocks_to_rewrite
@@ -136,12 +142,17 @@ def attack_resistance_table(
     *,
     trials: int = 1000,
     seed: int = 7,
+    rng: Optional[random.Random] = None,
 ) -> list[dict[str, float]]:
     """Sweep chain length x attacker share x redundancy policy.
 
     This regenerates the qualitative content of Fig. 9: without redundancy
     the success probability is independent of chain length (one block to
     rewrite); with redundancy it falls off sharply as the chain grows.
+
+    With ``rng`` the whole sweep draws from one caller-owned stream; without
+    it every cell reuses ``random.Random(seed)``, keeping cells independent
+    of sweep order.
     """
     rows: list[dict[str, float]] = []
     for chain_length in chain_lengths:
@@ -153,6 +164,7 @@ def attack_resistance_table(
                     blocks_to_rewrite=profile.blocks_to_rewrite,
                     trials=trials,
                     seed=seed,
+                    rng=rng,
                 )
                 rows.append(
                     {

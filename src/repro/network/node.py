@@ -12,6 +12,7 @@ synchronisation check of Section IV-B.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
@@ -40,6 +41,14 @@ from repro.sync.bootstrap import (
     fetch_snapshot,
 )
 from repro.storage.snapshot import chain_from_payload
+
+
+#: Caps on the per-replica byzantine bookkeeping, mirroring the EventBus
+#: audit log: a flood of invalid blocks must cost the *sender* bandwidth,
+#: not the receiver memory.  Both windows keep the newest items; evictions
+#: are counted in ``sync_stats`` so reports surface sustained floods.
+DEFAULT_REJECTED_BLOCKS_LIMIT = 256
+DEFAULT_SEEN_ANNOUNCEMENTS_LIMIT = 4096
 
 
 @dataclass
@@ -116,7 +125,13 @@ class AnchorNode:
         is_producer: bool = False,
         producer_id: Optional[str] = None,
         gossip: Optional[GossipOverlay] = None,
+        rejected_blocks_limit: int = DEFAULT_REJECTED_BLOCKS_LIMIT,
+        seen_announcements_limit: int = DEFAULT_SEEN_ANNOUNCEMENTS_LIMIT,
     ) -> None:
+        if rejected_blocks_limit < 1:
+            raise ValueError("rejected_blocks_limit must be positive")
+        if seen_announcements_limit < 1:
+            raise ValueError("seen_announcements_limit must be positive")
         self.node_id = node_id
         self.chain = chain
         self.transport = transport
@@ -127,7 +142,13 @@ class AnchorNode:
         #: overlay via one-way posts instead of a direct full broadcast.
         self.gossip = gossip
         self.peers: list[str] = []
-        self.rejected_blocks: list[tuple[Block, str]] = []
+        #: Bounded window over the most recently rejected blocks: a
+        #: byzantine peer re-announcing invalid blocks forever must not be
+        #: able to exhaust replica memory.  Evictions are counted in
+        #: ``sync_stats["rejected_blocks_evicted"]``.
+        self.rejected_blocks: deque[tuple[Block, str]] = deque(
+            maxlen=rejected_blocks_limit
+        )
         #: Announced blocks that arrived ahead of their predecessors.  Under
         #: scheduled delivery gossip hops genuinely overtake each other, so
         #: replicas buffer out-of-order announcements and apply them as the
@@ -136,8 +157,13 @@ class AnchorNode:
         #: Hashes of every gossiped block this node has already ingested —
         #: including rejected ones, so an invalid block is never re-forwarded
         #: (two neighbours re-gossiping a rejected block at each other would
-        #: otherwise ping-pong forever).
-        self._seen_announcements: set[str] = set()
+        #: otherwise ping-pong forever).  An insertion-ordered dict used as a
+        #: FIFO ring (like the EventBus audit log): when the cap is reached
+        #: the oldest hash is evicted and counted.  Safety does not depend on
+        #: the window — re-ingesting an evicted hash is caught by the
+        #: head-number check in :meth:`_ingest_announced_block`.
+        self._seen_announcements: dict[str, None] = {}
+        self._seen_announcements_limit = seen_announcements_limit
         #: Serving side of the snapshot-bootstrap protocol: the serialised
         #: chain is cached per head, so streaming N chunks (plus their
         #: retransmissions) serialises once.
@@ -163,6 +189,8 @@ class AnchorNode:
             "bootstrap_bytes": 0,
             "bootstrap_retransmits": 0,
             "chunks_served": 0,
+            "rejected_blocks_evicted": 0,
+            "announcements_evicted": 0,
         }
         if self.engine is not None and chain.block_finalizer is None:
             chain.block_finalizer = self.engine.prepare_block
@@ -300,7 +328,7 @@ class AnchorNode:
             return None
         verdict = self.engine.validate_block(block, self.chain.head)
         if not verdict.accepted:
-            self.rejected_blocks.append((block, verdict.reason))
+            self._record_rejected_block(block, verdict.reason)
             return message.error(self.node_id, verdict.reason)
         self.chain.receive_block(block)
         return message.reply(
@@ -308,6 +336,22 @@ class AnchorNode:
             self.node_id,
             {"head": self.chain.head.block_number, "head_hash": self.chain.head.block_hash},
         )
+
+    def _record_rejected_block(self, block: Block, reason: str) -> None:
+        """Remember a rejected block in the bounded window (oldest evicted)."""
+        if len(self.rejected_blocks) == self.rejected_blocks.maxlen:
+            self.sync_stats["rejected_blocks_evicted"] += 1
+        self.rejected_blocks.append((block, reason))
+
+    def _remember_announcement(self, block_hash: str) -> None:
+        """Add a gossiped block hash to the bounded seen-window."""
+        if block_hash in self._seen_announcements:
+            return
+        if len(self._seen_announcements) >= self._seen_announcements_limit:
+            oldest = next(iter(self._seen_announcements))
+            del self._seen_announcements[oldest]
+            self.sync_stats["announcements_evicted"] += 1
+        self._seen_announcements[block_hash] = None
 
     def _ingest_announced_block(self, block: Block) -> bool:
         """Buffer an announced block and apply every consecutive one.
@@ -321,7 +365,7 @@ class AnchorNode:
             return False
         if block.block_number in self._block_buffer:
             return False
-        self._seen_announcements.add(block.block_hash)
+        self._remember_announcement(block.block_hash)
         self._block_buffer[block.block_number] = block
         self._drain_block_buffer()
         return True
@@ -333,7 +377,7 @@ class AnchorNode:
                 return
             verdict = self.engine.validate_block(block, self.chain.head)
             if not verdict.accepted:
-                self.rejected_blocks.append((block, verdict.reason))
+                self._record_rejected_block(block, verdict.reason)
                 return
             self.chain.receive_block(block)
 
@@ -603,7 +647,7 @@ class AnchorNode:
                 continue  # already part of the local replica
             verdict = self.engine.validate_block(block, self.chain.head)
             if not verdict.accepted:
-                self.rejected_blocks.append((block, verdict.reason))
+                self._record_rejected_block(block, verdict.reason)
                 status = CatchUpStatus.BLOCK_REJECTED
                 detail = verdict.reason
                 break
@@ -614,7 +658,7 @@ class AnchorNode:
                 # head.  Forks are *detected* (sync_check), never silently
                 # replayed over — stop and report instead of crashing the
                 # caller (which may be a kernel event handler).
-                self.rejected_blocks.append((block, str(exc)))
+                self._record_rejected_block(block, str(exc))
                 status = CatchUpStatus.BLOCK_REJECTED
                 detail = str(exc)
                 break

@@ -37,6 +37,21 @@ Catalogue
   a lossy network; anti-entropy digests trigger a wire snapshot bootstrap
   and the deployment converges without any scenario-level fallback.
 
+Adversarial scenarios (byzantine actors from :mod:`repro.adversary`; every
+run pairs the attack counters with the quorum's defence counters under
+``report["adversary"]``):
+
+* ``byzantine-producer``    — an equivocating producer splits conflicting
+  blocks over the replicas; forks are detected and repaired, and the outcome
+  is cross-checked against the 51 %-attack model of
+  :mod:`repro.analysis.attack`.
+* ``forged-erasure``        — forged, impersonated and replayed deletion
+  requests die as typed rejections on the wire path (Sections IV-D1/D2).
+* ``digest-spoof``          — a byzantine peer advertises fabricated
+  ``SYNC_DIGEST`` heads; baited pulls fail harmlessly.
+* ``clock-skew``            — a clock-skewed replica wins the producer
+  failover; its future timestamps age temporary entries prematurely.
+
 Workload scenarios (driven by
 :class:`~repro.workloads.driver.ScenarioWorkloadDriver`: the full paper
 workload generators on virtual arrival timelines):
@@ -58,7 +73,21 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.core.config import ChainConfig
+from repro.adversary import (
+    ClockSkewedReplica,
+    DeletionForger,
+    DigestSpoofer,
+    EquivocatingProducer,
+)
+from repro.analysis.attack import (
+    analytic_success_probability,
+    confirmation_depth,
+    simulate_attack,
+)
+from repro.authz.bell_lapadula import BellLaPadulaModel, SecurityLevel
+from repro.core.chain import CohesionChecker
+from repro.core.config import ChainConfig, RedundancyPolicy
+from repro.core.entry import EntryReference
 from repro.core.errors import SelectiveDeletionError
 from repro.network.gossip import GossipOverlay, GossipTopology
 from repro.network.kernel import EventKernel
@@ -231,6 +260,7 @@ def _deployment(
     config: Optional[ChainConfig] = None,
     loss_rate: float = 0.0,
     admins: tuple[str, ...] = (),
+    cohesion_checker: Optional[CohesionChecker] = None,
 ) -> NetworkSimulator:
     """A kernel-backed deployment with independently seeded randomness.
 
@@ -250,6 +280,7 @@ def _deployment(
         loss_rate=loss_rate,
         loss_seed=seed + 3,
         admins=admins,
+        cohesion_checker=cohesion_checker,
     )
 
 
@@ -665,6 +696,429 @@ def _replica_bootstrap(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "straggler": straggler,
         "entries_accepted": len(accepted),
         "at_rejoin": checkpoints,
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Adversarial scenarios (repro.adversary)
+# --------------------------------------------------------------------- #
+#
+# Byzantine actors from repro.adversary injected into kernel deployments.
+# Every run reports both sides under report["adversary"]: the actors'
+# attack counters and the quorum's defence counters (typed deletion
+# rejections, divergence detections, bounded rejected-block windows,
+# fork repairs).  Like every catalogue entry the runs are byte-identical
+# per (seed, parameters) — including everything the adversary does.
+
+
+def _ack_reference(response: Message) -> Optional[EntryReference]:
+    """The sealed entry's origin reference, from a submit ACK."""
+    if response.is_error or "block_number" not in response.payload:
+        return None
+    return EntryReference(
+        block_number=int(response.payload["block_number"]),
+        entry_number=int(response.payload["entry_number"]),
+    )
+
+
+@scenario(
+    "byzantine-producer",
+    "an equivocating producer splits conflicting blocks over the replicas; "
+    "forks are detected, repaired, and cross-checked against the 51%-attack model",
+    defaults={
+        "anchors": 4,
+        "events": 8,
+        "entry_gap_ms": 50.0,
+        "attack_at_ms": 260.0,
+        "variants": 2,
+        "attacker_share": 0.35,
+        "attack_trials": 400,
+        "settle_ms": 250.0,
+        "fanout": 2,
+    },
+    smoke={"events": 4, "attack_at_ms": 140.0, "attack_trials": 120},
+)
+def _byzantine_producer(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Section IV-B's feared fork, manufactured on purpose.
+
+    Mid-traffic, an equivocating producer crafts conflicting same-height
+    blocks on the honest head and feeds a different variant to every
+    replica.  Victims still sitting on that head fork; the honest producer's
+    subsequent blocks no longer link on forked replicas (their rejections
+    land in the bounded ``rejected_blocks`` window), the summary-hash
+    comparison detects the divergence, and
+    :meth:`~repro.network.simulator.NetworkSimulator.repair_divergent_replicas`
+    restores convergence by snapshot adoption.  The run closes by
+    cross-checking against :mod:`repro.analysis.attack`: at the final chain
+    length, summarised history without redundancy is rewritable by this
+    attacker share (success probability >= 0.5 at one block of work) while
+    middle-sequence redundancy keeps it protected.
+    """
+    simulator = _deployment(seed, anchors=int(params["anchors"]), fanout=int(params["fanout"]))
+    kernel = simulator.kernel
+    assert kernel is not None
+    simulator.add_client("ALPHA")
+    byzantine = simulator.inject_adversary(
+        EquivocatingProducer("byzantine-0", simulator.transport)
+    )
+    forged_heights: list[int] = []
+
+    def attack() -> None:
+        victims = [peer for peer in simulator.anchor_ids if peer != simulator.producer_id]
+        blocks = byzantine.equivocate(
+            victims, head=simulator.producer.chain.head, variants=int(params["variants"])
+        )
+        forged_heights.extend(block.block_number for block in blocks)
+
+    kernel.schedule_at(float(params["attack_at_ms"]), attack, label="equivocation")
+    for index in range(int(params["events"])):
+        kernel.schedule_at(
+            25.0 + index * float(params["entry_gap_ms"]),
+            lambda index=index: simulator.submit_entry(
+                "ALPHA", _login("ALPHA", index), anchor_id=simulator.producer_id
+            ),
+            label=f"entry-{index}",
+        )
+    horizon = 25.0 + float(params["events"]) * float(params["entry_gap_ms"])
+    kernel.run_until(horizon + float(params["settle_ms"]))
+    # Detection first (the paper's summary-hash comparison), then repair.
+    detection = simulator.sync_check()
+    repaired = simulator.repair_divergent_replicas()
+    after_repair = simulator.sync_check()
+    # Close the loop with Section V-B1: does the deployment's final chain
+    # length actually leave summarised history rewritable for this attacker?
+    chain_length = simulator.producer.chain.head.block_number + 1
+    share = float(params["attacker_share"])
+    attack_rng = random.Random(seed + 61)
+    model: dict[str, Any] = {"chain_length": chain_length, "attacker_share": share}
+    for label, policy in (
+        ("no_redundancy", RedundancyPolicy.NONE),
+        ("middle_sequence", RedundancyPolicy.MIDDLE_MERKLE_ROOT),
+    ):
+        profile = confirmation_depth(chain_length, policy)
+        outcome = simulate_attack(
+            attacker_share=share,
+            blocks_to_rewrite=profile.blocks_to_rewrite,
+            trials=int(params["attack_trials"]),
+            rng=attack_rng,
+        )
+        model[label] = {
+            "blocks_to_rewrite": profile.blocks_to_rewrite,
+            "analytic_success": round(
+                analytic_success_probability(share, profile.blocks_to_rewrite), 6
+            ),
+            "simulated_success": round(outcome.success_rate, 6),
+        }
+    model["none_rewritable"] = model["no_redundancy"]["analytic_success"] >= 0.5
+    model["middle_protected"] = model["middle_sequence"]["analytic_success"] < 0.5
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "forged_heights": forged_heights,
+        "diverged_peers_detected": len(detection.diverged_peers),
+        "replicas_repaired": repaired,
+        "in_sync_after_repair": after_repair.in_sync,
+        "attack_model": model,
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "forged-erasure",
+    "forged, impersonated and replayed deletion requests die as typed rejections on the wire path",
+    defaults={
+        "anchors": 3,
+        "records": 10,
+        "entry_gap_ms": 40.0,
+        "delete_after": 4,
+        "forge_lag_ms": 60.0,
+        "replay_lag_ms": 120.0,
+        "settle_ms": 150.0,
+        "fanout": 2,
+    },
+    smoke={"records": 8},
+)
+def _forged_erasure(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Three escalating attacks on deletion authorization (Section IV-D1/D2).
+
+    ALPHA writes records under the paper's evaluation config (marker shifts
+    physically cut old sequences) and legitimately erases the first one.
+    The forger MALLORY then attacks the second record three ways, and each
+    attempt must die in a *different* layer, visible as a typed rejection:
+
+    * ``forge``       — signed as MALLORY: the authorizer's signature
+      comparison rejects (``rejected_unauthorized``),
+    * ``impersonate`` — signed claiming ALPHA: the simplified scheme is not
+      binding, so the authorizer passes — but the record is classified
+      CONFIDENTIAL above ALPHA's own clearance, so the Bell-LaPadula
+      cohesion layer rejects (``rejected_cohesion``),
+    * ``replay``      — ALPHA's captured legitimate request, re-sent after
+      its execution: the target physically left the chain, so the
+      missing-target check rejects (``rejected_missing_target``).
+    """
+    model = BellLaPadulaModel()
+    model.clear_subject("SECURITY-OFFICER", SecurityLevel.SECRET)
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=ChainConfig.paper_evaluation(),
+        cohesion_checker=model.as_cohesion_checker(),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    simulator.add_client("ALPHA")
+    forger = simulator.inject_adversary(DeletionForger("MALLORY", simulator.transport))
+    references: dict[int, EntryReference] = {}
+    outcomes: dict[str, str] = {}
+    gap = float(params["entry_gap_ms"])
+
+    def submit(index: int) -> None:
+        response = simulator.submit_entry(
+            "ALPHA",
+            {"D": f"Record #{index}", "K": "ALPHA", "S": "sig_ALPHA"},
+            anchor_id=simulator.producer_id,
+        )
+        reference = _ack_reference(response)
+        if reference is None:
+            return
+        references[index] = reference
+        if index == 1:
+            # The second record holds sensitive content: classified above
+            # its own author's clearance, so only cleared officers may ever
+            # delete it — the defence in depth the impersonation runs into.
+            model.classify_entry(reference, SecurityLevel.CONFIDENTIAL)
+
+    for index in range(int(params["records"])):
+        kernel.schedule_at(25.0 + index * gap, lambda index=index: submit(index), label=f"record-{index}")
+
+    def legitimate_erasure() -> None:
+        response = simulator.submit_deletion(
+            "ALPHA",
+            references[0],
+            anchor_id=simulator.producer_id,
+            reason="legitimate erasure",
+        )
+        outcomes["legitimate"] = str(response.payload.get("deletion_status", "error"))
+
+    kernel.schedule_at(
+        25.0 + float(params["delete_after"]) * gap + gap / 2,
+        legitimate_erasure,
+        label="legitimate-erasure",
+    )
+    forge_at = 25.0 + float(params["records"]) * gap + float(params["forge_lag_ms"])
+
+    def forge_phase() -> None:
+        target = references[1]
+        forger.forge(simulator.producer_id, target, reason="hostile takedown")
+        forger.impersonate(
+            simulator.producer_id, target, victim="ALPHA", reason="hostile takedown"
+        )
+
+    kernel.schedule_at(forge_at, forge_phase, label="forge-phase")
+    kernel.schedule_at(
+        forge_at + float(params["replay_lag_ms"]),
+        # limit=1: the first SUBMIT_DELETION on the wire is ALPHA's
+        # legitimate request — replayed after its target was cut.
+        lambda: forger.replay(simulator.producer_id, limit=1),
+        label="replay-phase",
+    )
+    kernel.run_until(forge_at + float(params["replay_lag_ms"]) + float(params["settle_ms"]))
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "legitimate_status": outcomes.get("legitimate", "missing"),
+        "typed_rejections": {
+            key: forger.stats[key]
+            for key in sorted(forger.stats)
+            if key.startswith("rejected_")
+        },
+        "approved_forgeries": forger.stats.get("approved", 0),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "digest-spoof",
+    "a byzantine peer advertises fabricated sync digests; baited pulls fail and replicas stay converged",
+    defaults={
+        "anchors": 4,
+        "events": 8,
+        "entry_gap_ms": 60.0,
+        "spoof_interval_ms": 130.0,
+        "spoof_lead": 4,
+        "anti_entropy_interval_ms": 150.0,
+        "settle_ms": 400.0,
+        "fanout": 2,
+    },
+    smoke={"events": 4, "settle_ms": 300.0},
+)
+def _digest_spoof(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """Anti-entropy under a lying peer: containment, not prevention.
+
+    A digest spoofer advertises heads always ``spoof_lead`` blocks past the
+    honest head, baiting replicas into pulls that the spoofer answers with a
+    fake marker shift and a refused snapshot.  The defence under test is
+    that a failed pull changes *nothing*: victims keep their replicas, the
+    honest anti-entropy rounds keep the quorum converged, and the only
+    trace of the attack is the spoofer's own counters (``pulls_baited``,
+    ``snapshots_refused``) next to the unchanged convergence report.
+    """
+    simulator = _deployment(seed, anchors=int(params["anchors"]), fanout=int(params["fanout"]))
+    kernel = simulator.kernel
+    assert kernel is not None
+    simulator.add_client("ALPHA")
+    spoofer = simulator.inject_adversary(DigestSpoofer("spoofer-0", simulator.transport))
+    horizon = 25.0 + float(params["events"]) * float(params["entry_gap_ms"]) + float(
+        params["settle_ms"]
+    )
+    simulator.enable_anti_entropy(
+        interval_ms=float(params["anti_entropy_interval_ms"]), until=horizon
+    )
+    spoofer.start(
+        kernel=kernel,
+        targets=simulator.anchor_ids,
+        interval_ms=float(params["spoof_interval_ms"]),
+        head_fn=lambda: simulator.producer.chain.head.block_number,
+        lead=int(params["spoof_lead"]),
+        until=horizon,
+    )
+    for index in range(int(params["events"])):
+        kernel.schedule_at(
+            25.0 + index * float(params["entry_gap_ms"]),
+            lambda index=index: simulator.submit_entry("ALPHA", _login("ALPHA", index)),
+            label=f"entry-{index}",
+        )
+    kernel.run_until(horizon)
+    spoofer.stop()
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "pulls_baited": spoofer.stats.get("pulls_baited", 0),
+        "snapshots_refused": spoofer.stats.get("snapshots_refused", 0),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "clock-skew",
+    "a clock-skewed replica wins the producer failover; its future timestamps age temporary entries prematurely",
+    defaults={
+        "anchors": 3,
+        "events": 6,
+        "entry_gap_ms": 50.0,
+        "skew_ticks": 5000,
+        "temp_ttl_ticks": 2000,
+        "fail_at_ms": 340.0,
+        "elect_at_ms": 400.0,
+        "post_events": 5,
+        "settle_ms": 200.0,
+        "fanout": 2,
+    },
+    smoke={"events": 4, "post_events": 3, "fail_at_ms": 240.0, "elect_at_ms": 300.0},
+)
+def _clock_skew(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """What clock skew can — and cannot — do to the quorum (Section IV-D4).
+
+    One replica runs ``skew_ticks`` ahead.  While it is a mere follower the
+    skew is invisible: expiry evaluates on *on-chain* timestamps, so every
+    replica ages the temporary entry identically and the quorum cannot
+    fork.  Then the honest producer dies and the skewed replica wins the
+    failover — blocks it seals stamp future timestamps, and a temporary
+    entry far from its honest expiry is aged out prematurely.  The quorum
+    *still* does not fork (every replica reads the same skewed on-chain
+    time); the damage is semantic, and the run measures it: the entry is
+    gone while the honest clock says it should have lived.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=ChainConfig.paper_evaluation(),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    simulator.add_client("ALPHA")
+    skewed_id = simulator.anchor_ids[-1]
+    actor = simulator.inject_adversary(
+        ClockSkewedReplica(
+            f"skew:{skewed_id}",
+            simulator.transport,
+            kernel=kernel,
+            skew_ticks=int(params["skew_ticks"]),
+        )
+    )
+    actor.apply(simulator.anchors[skewed_id])
+    first_producer = simulator.producer_id
+    ttl = int(params["temp_ttl_ticks"])
+    checkpoints: dict[str, Any] = {}
+
+    def submit(index: int) -> None:
+        if index == 0:
+            # The canary: a temporary entry whose honest expiry lies far
+            # beyond this run's virtual horizon.
+            response = simulator.submit_entry(
+                "ALPHA",
+                {"D": "Temporary record", "K": "ALPHA", "S": "sig_ALPHA"},
+                anchor_id=simulator.producer_id,
+                expires_at_time=ttl,
+            )
+            checkpoints["temp_reference"] = _ack_reference(response)
+        else:
+            simulator.submit_entry(
+                "ALPHA", _login("ALPHA", index), anchor_id=simulator.producer_id
+            )
+
+    for index in range(int(params["events"])):
+        kernel.schedule_at(
+            25.0 + index * float(params["entry_gap_ms"]),
+            lambda index=index: submit(index),
+            label=f"entry-{index}",
+        )
+    simulator.schedule_offline(first_producer, float(params["fail_at_ms"]))
+    kernel.schedule_at(
+        float(params["elect_at_ms"]),
+        # Every honest candidate is excluded: the adversarial premise is
+        # that the skewed replica wins the failover.
+        lambda: simulator.elect_new_producer(
+            exclude=tuple(peer for peer in simulator.anchor_ids if peer != skewed_id)
+        ),
+        label="skewed-failover",
+    )
+    post_base = float(params["elect_at_ms"]) + 40.0
+    for index in range(int(params["post_events"])):
+        kernel.schedule_at(
+            post_base + index * float(params["entry_gap_ms"]),
+            lambda index=index: simulator.submit_entry(
+                "ALPHA", _login("ALPHA", 100 + index), anchor_id=skewed_id
+            ),
+            label=f"post-entry-{index}",
+        )
+    horizon = post_base + float(params["post_events"]) * float(params["entry_gap_ms"]) + float(
+        params["settle_ms"]
+    )
+    kernel.run_until(horizon)
+    honest_ticks = int(kernel.now)
+    temp_reference = checkpoints.get("temp_reference")
+    temp_gone = (
+        temp_reference is not None
+        and simulator.anchors[skewed_id].chain.find_entry(temp_reference) is None
+    )
+    head = simulator.anchors[skewed_id].chain.head
+    report = simulator.finalize()
+    return {
+        "report": report.as_dict(),
+        "first_producer": first_producer,
+        "final_producer": simulator.producer_id,
+        "head_timestamp": head.timestamp,
+        "honest_clock_ticks": honest_ticks,
+        "temp_expired": temp_gone,
+        "premature_expiry": bool(temp_gone and honest_ticks < ttl),
         "heads": simulator.all_heads(),
         "replicas_identical": simulator.replicas_identical(),
     }

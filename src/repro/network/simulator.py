@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
+    from repro.adversary.base import AdversaryActor
     from repro.service.remote import RemoteLedgerClient
     from repro.sync.antientropy import AntiEntropyService
     from repro.workloads.base import Workload
@@ -35,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.consensus.election import HeadElection
 from repro.consensus.quorum import Quorum
-from repro.core.chain import Blockchain
+from repro.core.chain import Blockchain, CohesionChecker
 from repro.core.clock import SimulationClock
 from repro.core.config import ChainConfig
 from repro.core.entry import Entry, EntryReference
@@ -68,6 +69,10 @@ class SimulationReport:
     #: latency), keyed by workload name — filled by :meth:`finalize` for
     #: every driver attached via :meth:`NetworkSimulator.drive_workload`.
     workloads: dict[str, Any] = field(default_factory=dict)
+    #: Adversarial bookkeeping — per-actor attack counters under
+    #: ``"actors"``, the quorum's aggregated defence counters under
+    #: ``"defense"``.  Empty for deployments without injected adversaries.
+    adversary: dict[str, Any] = field(default_factory=dict)
     final_chain_statistics: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -85,6 +90,7 @@ class SimulationReport:
             "kernel": dict(self.kernel),
             "anti_entropy": dict(self.anti_entropy),
             "workloads": dict(self.workloads),
+            "adversary": dict(self.adversary),
             "final_chain_statistics": dict(self.final_chain_statistics),
         }
 
@@ -115,6 +121,7 @@ class NetworkSimulator:
         gossip: Optional[GossipOverlay] = None,
         loss_rate: float = 0.0,
         loss_seed: int = 23,
+        cohesion_checker: Optional[CohesionChecker] = None,
     ) -> None:
         if anchor_count < 1:
             raise ValueError("at least one anchor node is required")
@@ -127,6 +134,10 @@ class NetworkSimulator:
         )
         self.anti_entropy: Optional["AntiEntropyService"] = None
         self._workload_drivers: list["ScenarioWorkloadDriver"] = []
+        #: Injected byzantine actors (see :mod:`repro.adversary`); their
+        #: attack counters are folded into ``report.adversary``.
+        self.adversaries: list["AdversaryActor"] = []
+        self._forks_repaired = 0
         self.report = SimulationReport()
 
         self.anchor_ids = [f"anchor-{index}" for index in range(anchor_count)]
@@ -138,6 +149,10 @@ class NetworkSimulator:
                 schema=self.schema,
                 admins=list(admins),
                 clock=SimulationClock(kernel) if kernel is not None else None,
+                # One shared checker across all replicas, mirroring how each
+                # replica re-evaluates replicated deletion requests against
+                # the same semantic-cohesion model (Section IV-D2).
+                cohesion_checker=cohesion_checker,
             )
             chain.bus.subscribe(self._count_empty_block, types=(EventType.EMPTY_BLOCK,))
             engine = engine_factory() if engine_factory is not None else NullConsensus()
@@ -219,6 +234,49 @@ class NetworkSimulator:
         rogue = Entry(data={"D": note, "K": "corruptor", "S": "none"}, author="corruptor", signature="x")
         chain._pending.append(rogue)  # bypass signing on purpose: this is a fault injection
         chain.seal_block()
+
+    # ------------------------------------------------------------------ #
+    # Adversaries (repro.adversary)
+    # ------------------------------------------------------------------ #
+
+    def inject_adversary(self, actor: "AdversaryActor") -> "AdversaryActor":
+        """Attach a byzantine actor to this deployment.
+
+        The actor acts through the shared transport on its own schedule; the
+        simulator only tracks it so :meth:`finalize` can pair its attack
+        counters with the quorum's defence counters under
+        ``report.adversary``.
+        """
+        self.adversaries.append(actor)
+        return actor
+
+    def repair_divergent_replicas(self) -> int:
+        """Converge every online replica that forked off the producer.
+
+        Divergence detection is the summary-hash comparison of
+        Section IV-B; *repair* is the status-quo adoption of Section V-B4: a
+        forked replica cannot replay its way back (the honest blocks no
+        longer link to its head), so after an incremental catch-up attempt
+        the replica adopts the producer's snapshot wholesale.  Returns the
+        number of replicas repaired; the count is also surfaced as
+        ``report.adversary["defense"]["forks_repaired"]``.
+        """
+        repaired = 0
+        for anchor_id in self.anchor_ids:
+            if anchor_id == self.producer_id or self.transport.is_offline(anchor_id):
+                continue
+            node = self.anchors[anchor_id]
+            if node.chain.head.block_hash == self.producer.chain.head.block_hash:
+                continue
+            # A merely *lagging* replica converges incrementally.
+            node.catch_up(self.producer_id)
+            if node.chain.head.block_hash != self.producer.chain.head.block_hash:
+                # A genuine fork: wholesale snapshot adoption.
+                node.bootstrap_from(self.producer_id)
+            if node.chain.head.block_hash == self.producer.chain.head.block_hash:
+                repaired += 1
+        self._forks_repaired += repaired
+        return repaired
 
     # ------------------------------------------------------------------ #
     # Virtual-time control (kernel deployments)
@@ -522,6 +580,30 @@ class NetworkSimulator:
                 key = f"{driver.workload.name}#{suffix}"
                 suffix += 1
             self.report.workloads[key] = driver.stats.as_dict()
+        if self.adversaries:
+            defense: dict[str, int] = {
+                "digests_diverged": 0,
+                "rejected_blocks": 0,
+                "rejected_blocks_evicted": 0,
+                "announcements_evicted": 0,
+            }
+            for node in self.anchors.values():
+                defense["digests_diverged"] += node.sync_stats["digests_diverged"]
+                defense["rejected_blocks"] += len(node.rejected_blocks)
+                defense["rejected_blocks_evicted"] += node.sync_stats[
+                    "rejected_blocks_evicted"
+                ]
+                defense["announcements_evicted"] += node.sync_stats[
+                    "announcements_evicted"
+                ]
+            defense["deletions_rejected"] = self.producer.chain.registry.rejected_count
+            defense["forks_repaired"] = self._forks_repaired
+            self.report.adversary = {
+                "actors": {
+                    actor.actor_id: actor.statistics() for actor in self.adversaries
+                },
+                "defense": defense,
+            }
         self.report.transport = self.transport.statistics.as_dict()
         self.report.final_chain_statistics = self.producer.chain.statistics()
         return self.report
