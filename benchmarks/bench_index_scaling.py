@@ -67,9 +67,11 @@ def time_per_op(fn, *, repeat: int, batches: int = 5) -> float:
     """Best-of-``batches`` per-operation wall time in microseconds."""
     best = float("inf")
     for _ in range(batches):
+        # repro: allow[REPRO-D101] benchmarks measure real wall time by design
         start = time.perf_counter()
         for _ in range(repeat):
             fn()
+        # repro: allow[REPRO-D101] benchmarks measure real wall time by design
         best = min(best, time.perf_counter() - start)
     return best / repeat * 1e6
 
@@ -110,9 +112,11 @@ def measure(chain: Blockchain) -> dict[str, float]:
     }
 
     seal_rounds = 30
+    # repro: allow[REPRO-D101] benchmarks measure real wall time by design
     start = time.perf_counter()
     for i in range(seal_rounds):
         chain.add_entry_block({"D": f"seal probe {i}", "K": "ALPHA", "S": "sig_ALPHA"}, "ALPHA")
+    # repro: allow[REPRO-D101] benchmarks measure real wall time by design
     results["seal_us"] = (time.perf_counter() - start) / seal_rounds * 1e6
     return results
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Verify that local markdown links in the docs resolve to real files.
+"""Compatibility shim: the doc checks now live in the lint pass.
 
-Scans the given markdown files (default: ``docs/*.md`` and ``README.md``)
-for ``[text](target)`` links, resolves each non-URL target relative to the
-file that contains it, and fails when a target does not exist — so the
-architecture handbook's source links cannot silently rot as the tree moves.
+The link check this script used to implement is rule ``REPRO-DOC401`` of
+``python -m repro lint`` (see ``src/repro/lint/rules_docs.py``), which CI
+runs as part of the single lint gate.  The shim remains so existing
+invocations keep working; it simply drives the docs rules of the linter
+over the requested files.
 
 Usage::
 
@@ -13,57 +14,37 @@ Usage::
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-#: [text](target) or [text](target "Title") — the target is captured either
-#: way, so a link with a title cannot silently escape the check.
-LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-#: Targets that are not local paths.
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
-
-
-def iter_links(markdown: Path):
-    for line_number, line in enumerate(markdown.read_text(encoding="utf-8").splitlines(), 1):
-        for match in LINK_PATTERN.finditer(line):
-            target = match.group(1)
-            if target.startswith(EXTERNAL_PREFIXES):
-                continue
-            yield line_number, target.split("#", 1)[0]
-
-
-def check(files: list[Path]) -> int:
-    broken: list[str] = []
-    checked = 0
-    for markdown in files:
-        try:
-            shown = markdown.relative_to(REPO_ROOT)
-        except ValueError:
-            shown = markdown
-        for line_number, target in iter_links(markdown):
-            checked += 1
-            resolved = (markdown.parent / target).resolve()
-            if not resolved.exists():
-                broken.append(f"{shown}:{line_number}: {target}")
-    for entry in broken:
-        print(f"BROKEN {entry}", file=sys.stderr)
-    print(f"{len(files)} files, {checked} local links, {len(broken)} broken")
-    return 1 if broken else 0
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def main(argv: list[str]) -> int:
+    from repro.lint.engine import run_lint
+    from repro.lint.project import Project
+    from repro.lint.reporters import render_text
+    from repro.lint.rules_docs import BrokenLinkRule, RuleTableRule, ScenarioTableRule
+
     if argv:
         files = [Path(arg).resolve() for arg in argv]
+        missing = [path for path in files if not path.exists()]
+        if missing:
+            for path in missing:
+                print(f"no such file: {path}", file=sys.stderr)
+            return 2
+        project = Project.from_root(REPO_ROOT, paths=files)
     else:
-        files = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
-    missing = [path for path in files if not path.exists()]
-    if missing:
-        for path in missing:
-            print(f"no such file: {path}", file=sys.stderr)
-        return 2
-    return check(files)
+        project = Project.from_root(
+            REPO_ROOT,
+            paths=sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"],
+        )
+    report = run_lint(
+        project, rules=[BrokenLinkRule, ScenarioTableRule, RuleTableRule]
+    )
+    print(render_text(report))
+    return report.exit_code
 
 
 if __name__ == "__main__":

@@ -12,7 +12,9 @@ paper's evaluation scenario and the main analyses without writing any code:
 * ``parity``   — replay one workload through the local, durable and
   networked ledger clients and check the statistics are identical,
 * ``simulate`` — run a named scenario from the deterministic-kernel
-  catalogue (``--list`` shows it) and print the result as JSON.
+  catalogue (``--list`` shows it) and print the result as JSON,
+* ``lint``     — run the static-analysis pass (determinism, protocol and
+  docs invariants) over the tree; nonzero exit on any unsuppressed finding.
 
 Every replay goes through the :class:`~repro.service.client.LedgerClient`
 protocol, so the commands exercise the same layered service API applications
@@ -40,6 +42,7 @@ from repro.analysis.report import (
 from repro.core.chain import Blockchain
 from repro.core.config import ChainConfig
 from repro.core.schema import default_log_schema
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.network.scenarios import (
     ScenarioError,
     run_scenario,
@@ -350,6 +353,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="baseline comparison table")
     compare.add_argument("--records", type=int, default=120, help="records per system")
     compare.set_defaults(func=_run_compare)
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: determinism, protocol and docs invariants"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint_command)
 
     return parser
 

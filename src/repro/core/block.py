@@ -70,6 +70,7 @@ class RedundancyRecord:
                 "merkle_root": self.merkle_root,
                 "entries": list(self.entries),
             }
+            # repro: allow[REPRO-F301] write-once memo of a pure function of frozen fields
             object.__setattr__(self, "_canonical_cache", canonical_json(payload))
         return self._canonical_cache
 

@@ -27,6 +27,7 @@ from enum import Enum
 from typing import Any, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.crypto.hashing import canonical_json
 
 
 class SummaryMode(str, Enum):
@@ -127,6 +128,10 @@ class RetentionPolicy:
             "min_time_span": self.min_time_span,
         }
 
+    def __canonical_json__(self) -> str:
+        """Canonical form: the serialised :meth:`to_dict` payload."""
+        return canonical_json(self.to_dict())
+
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RetentionPolicy":
         """Rebuild a policy from :meth:`to_dict` output."""
@@ -203,6 +208,10 @@ class ChainConfig:
             "signature_scheme": self.signature_scheme,
             "allow_foreign_deletion_by_admin": self.allow_foreign_deletion_by_admin,
         }
+
+    def __canonical_json__(self) -> str:
+        """Canonical form: the serialised :meth:`to_dict` payload."""
+        return canonical_json(self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ChainConfig":

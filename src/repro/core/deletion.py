@@ -212,8 +212,15 @@ class DeletionRegistry:
 
     def statistics(self) -> dict[str, int]:
         """Summary counters for reports and benchmarks."""
+        # Every evaluated request yields exactly one APPROVED or REJECTED
+        # decision; the EXECUTED entries appended by mark_executed re-record
+        # the same request.  Counting by status (not object identity) keeps
+        # the figure stable across snapshot round-trips, where from_dict
+        # rebuilds a fresh request object per decision.
         return {
-            "requests": len({id(d.request) for d in self._decisions}),
+            "requests": sum(
+                1 for d in self._decisions if d.status is not DeletionStatus.EXECUTED
+            ),
             "approved": self.approved_count,
             "rejected": self.rejected_count,
             "executed": self.executed_count,

@@ -54,6 +54,10 @@ class EntryReference:
         """Return a JSON-serialisable representation."""
         return {"block_number": self.block_number, "entry_number": self.entry_number}
 
+    def __canonical_json__(self) -> str:
+        """Canonical form: the serialised :meth:`to_dict` payload."""
+        return canonical_json(self.to_dict())
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EntryReference":
         """Rebuild a reference from :meth:`to_dict` output."""
@@ -230,6 +234,7 @@ class Entry:
         if self._canonical_cache is None:
             from repro.crypto.hashing import canonical_json
 
+            # repro: allow[REPRO-F301] write-once memo of a pure function of frozen fields
             object.__setattr__(self, "_canonical_cache", canonical_json(self.to_dict()))
         return self._canonical_cache
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.errors import SchemaError
+from repro.crypto.hashing import canonical_json
 
 #: Mapping of schema type names to the Python types they accept.
 _TYPE_MAP: dict[str, tuple[type, ...]] = {
@@ -89,6 +90,10 @@ class FieldSpec:
             "max_length": self.max_length,
             "description": self.description,
         }
+
+    def __canonical_json__(self) -> str:
+        """Canonical form: the serialised :meth:`to_dict` payload."""
+        return canonical_json(self.to_dict())
 
 
 @dataclass

@@ -1,0 +1,81 @@
+"""The ``lint`` subcommand: argument wiring and the run driver.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — no unsuppressed finding,
+* ``1`` — findings remain,
+* ``2`` — usage error (a named path does not exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.base import ENGINE_CHECKS, rule_catalogue
+from repro.lint.engine import run_lint
+from repro.lint.project import Project
+from repro.lint.reporters import render_json, render_text
+
+USAGE_ERROR = 2
+
+
+def default_root() -> Path:
+    """The repository root this installation runs from (``src/../..``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repo's scan set)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: derived from the package location)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings muted by allow pragmas",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute one lint run per the parsed arguments."""
+    if args.list_rules:
+        for cls in rule_catalogue():
+            print(f"{cls.rule_id}  {cls.title}")
+        for check in ENGINE_CHECKS:
+            print(f"{check['rule_id']}  {check['title']} (engine check)")
+        return 0
+    root = (args.root or default_root()).resolve()
+    paths = [path if path.is_absolute() else root / path for path in args.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}")
+        return USAGE_ERROR
+    project = Project.from_root(root, paths=paths or None)
+    report = run_lint(project)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return report.exit_code

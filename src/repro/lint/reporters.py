@@ -1,0 +1,47 @@
+"""Report renderers for lint runs.
+
+Two formats:
+
+* **text** — one ``path:line: RULE-ID message`` row per finding plus a
+  summary line, the format CI logs and humans read,
+* **json** — the :meth:`~repro.lint.base.LintReport.to_dict` document, for
+  tooling that wants to post-process findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.base import LintReport
+
+
+def render_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable report: findings, optional suppressions, summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}: {finding.rule_id} {finding.message}")
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule_id} suppressed "
+                f"({finding.suppression_reason}): {finding.message}"
+            )
+    counts = report.by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule_id}×{count}" for rule_id, count in sorted(counts.items()))
+        lines.append(
+            f"{len(report.findings)} finding(s) [{per_rule}] — "
+            f"{report.files_scanned} files, {report.rules_run} checks, "
+            f"{len(report.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean — {report.files_scanned} files, {report.rules_run} checks, "
+            f"{len(report.suppressed)} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

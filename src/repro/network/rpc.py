@@ -69,6 +69,14 @@ class RpcServer:
             result = method(*args, **kwargs)
         except SelectiveDeletionError as exc:
             return message.error(self.service_id, f"{type(exc).__name__}: {exc}")
+        except (TypeError, ValueError, KeyError) as exc:
+            # A malformed call (wrong arity, bad argument shape) is the
+            # *caller's* fault; it must come back as a typed rejection, not
+            # tear down the server's handler inside the kernel loop.
+            return message.error(
+                self.service_id,
+                f"bad call to {method_name!r}: {type(exc).__name__}: {exc}",
+            )
         return message.reply(MessageKind.RPC_RESULT, self.service_id, {"result": result})
 
 

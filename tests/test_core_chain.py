@@ -125,6 +125,18 @@ class TestSelectiveDeletion:
         decision = self._run_figure7_scenario(paper_chain)
         assert decision.status is not DeletionStatus.REJECTED
 
+    def test_deletion_statistics_survive_snapshot_round_trip(self, paper_chain):
+        # Regression: the request count was derived from id(decision.request),
+        # which overcounted after from_dict rebuilt fresh request objects.
+        from repro.core.deletion import DeletionRegistry
+
+        self._run_figure7_scenario(paper_chain)
+        registry = paper_chain.registry
+        before = registry.statistics()
+        assert before["requests"] == 1
+        restored = DeletionRegistry.from_dict(registry.to_dict())
+        assert restored.statistics() == before
+
     def test_deletion_request_stored_in_block_6(self, paper_chain):
         for user in ("ALPHA", "BRAVO", "CHARLIE"):
             paper_chain.add_entry_block(login_entry(user), user)

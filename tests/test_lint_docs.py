@@ -1,0 +1,136 @@
+"""Docs rules: broken links, table sync, and the docs-sync pin that the
+rule-catalogue table in the handbook lists exactly the registered rules."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.base import ENGINE_CHECKS, rule_catalogue
+from repro.lint.engine import run_lint
+from repro.lint.project import Project
+from repro.lint.rules_docs import (
+    RULES_HEADING,
+    BrokenLinkRule,
+    RuleTableRule,
+    ScenarioTableRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestBrokenLinkRule:
+    def test_broken_link_flagged(self):
+        sources = {
+            "docs/GUIDE.md": "See [the kernel](../src/repro/kernel.py) for details.\n",
+        }
+        report = run_lint(Project.from_sources(sources), rules=[BrokenLinkRule])
+        assert [f.rule_id for f in report.findings] == ["REPRO-DOC401"]
+        assert "kernel.py" in report.findings[0].message
+
+    def test_resolving_link_passes(self):
+        sources = {
+            "docs/GUIDE.md": "See [the kernel](../src/repro/kernel.py).\n",
+            "src/repro/kernel.py": "value = 1\n",
+        }
+        report = run_lint(Project.from_sources(sources), rules=[BrokenLinkRule])
+        assert not report.findings
+
+    def test_external_and_anchor_links_ignored(self):
+        sources = {
+            "docs/GUIDE.md": (
+                "[paper](https://example.org/paper.pdf) and [below](#section)\n"
+            ),
+        }
+        report = run_lint(Project.from_sources(sources), rules=[BrokenLinkRule])
+        assert not report.findings
+
+    def test_real_docs_have_no_broken_links(self):
+        project = Project.from_root(REPO_ROOT)
+        report = run_lint(project, rules=[BrokenLinkRule])
+        assert not report.findings, [f.message for f in report.findings]
+
+
+class TestRuleTableSync:
+    def documented_ids(self) -> set[str]:
+        handbook = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+        ids: set[str] = set()
+        in_section = False
+        for line in handbook.read_text(encoding="utf-8").splitlines():
+            if line.startswith("#"):
+                in_section = line.strip() == RULES_HEADING
+                continue
+            if in_section and line.startswith("| `REPRO-"):
+                ids.add(line.split("|")[1].strip().strip("`"))
+        return ids
+
+    def test_docs_table_lists_exactly_the_registered_rules(self):
+        registered = {cls.rule_id for cls in rule_catalogue()}
+        registered.update(check["rule_id"] for check in ENGINE_CHECKS)
+        assert self.documented_ids() == registered
+
+    def test_doc403_fires_when_a_rule_is_undocumented(self):
+        sources = {
+            "docs/ARCHITECTURE.md": (
+                "### Rule catalogue\n\n"
+                "| Rule | Protects | Example rejected |\n"
+                "| --- | --- | --- |\n"
+                "| `REPRO-D101` | clocks | `time.time()` |\n"
+            ),
+        }
+        report = run_lint(Project.from_sources(sources), rules=[RuleTableRule])
+        flagged = {f.rule_id for f in report.findings}
+        assert flagged == {"REPRO-DOC403"}
+        # Every registered-but-undocumented rule gets its own finding.
+        assert len(report.findings) >= len(rule_catalogue())
+
+    def test_doc403_fires_on_phantom_documented_rule(self):
+        table = "\n".join(
+            f"| `{rule_id}` | x | y |"
+            for rule_id in sorted(
+                {cls.rule_id for cls in rule_catalogue()}
+                | {check["rule_id"] for check in ENGINE_CHECKS}
+                | {"REPRO-Z999"}
+            )
+        )
+        sources = {"docs/ARCHITECTURE.md": f"### Rule catalogue\n\n{table}\n"}
+        report = run_lint(Project.from_sources(sources), rules=[RuleTableRule])
+        assert [f.rule_id for f in report.findings] == ["REPRO-DOC403"]
+        assert "REPRO-Z999" in report.findings[0].message
+
+
+class TestScenarioTableRule:
+    def test_real_scenario_table_in_sync(self):
+        project = Project.from_root(REPO_ROOT)
+        report = run_lint(project, rules=[ScenarioTableRule])
+        assert not report.findings, [f.message for f in report.findings]
+
+    def test_missing_table_flagged(self):
+        sources = {"docs/ARCHITECTURE.md": "# Handbook\n\nno tables here\n"}
+        report = run_lint(Project.from_sources(sources), rules=[ScenarioTableRule])
+        assert [f.rule_id for f in report.findings] == ["REPRO-DOC402"]
+
+
+class TestDocLinkShim:
+    def test_shim_still_runs_and_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_doc_links.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_shim_usage_error_on_missing_file(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "check_doc_links.py"),
+                "docs/NO_SUCH_FILE.md",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 2

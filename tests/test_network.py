@@ -176,7 +176,7 @@ class TestAnchorAndClientNodes:
 
     def test_unknown_message_kind_rejected(self):
         transport, nodes, ids = self.build_network()
-        # RPC_RESULT is a response kind no anchor node ever handles.
+        # repro: allow[REPRO-P202] deliberately sends a reply-only kind to assert the typed rejection
         response = transport.send(ids[0], Message(kind=MessageKind.RPC_RESULT, sender="x"))
         assert response.is_error
 
@@ -211,6 +211,17 @@ class TestRpc:
         client = RpcClient("caller", "svc", transport)
         with pytest.raises(RpcError, match="nope"):
             client.fail()
+
+    def test_malformed_call_is_typed_rejection_not_crash(self):
+        # Regression: a wrong-arity call used to raise TypeError inside the
+        # server handler and tear down the delivery instead of replying.
+        transport = InMemoryTransport()
+        RpcServer("svc", transport, methods={"ping": lambda: "pong"})
+        client = RpcClient("caller", "svc", transport)
+        with pytest.raises(RpcError, match="bad call"):
+            client.ping("unexpected-argument")
+        # The server survives and keeps answering well-formed calls.
+        assert client.ping() == "pong"
 
     def test_non_rpc_message_rejected(self):
         transport = InMemoryTransport()
