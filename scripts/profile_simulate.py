@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Script entry point for the scenario profiler.
+
+Equivalent to ``python -m repro profile``; kept as a standalone script so the
+harness can be invoked without installing the package or exporting
+``PYTHONPATH`` by hand.
+
+Usage::
+
+    python scripts/profile_simulate.py --scenario vehicle-telemetry --smoke
+    python scripts/profile_simulate.py --scenario all --json profile.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["profile", *sys.argv[1:]]))

@@ -1,0 +1,120 @@
+"""Profiling harness for the simulate hot loop.
+
+ROADMAP open item 2 asks for exactly this: nobody had profiled
+``python -m repro simulate`` since PR 1 moved the chain façade to O(1), yet
+the 15-scenario catalogue now executes orders of magnitude more signatures
+and hashes than the seed did.  This module wraps :func:`cProfile` around any
+named scenario and renders the top offenders, so "attack the measured
+offenders" starts from a measurement instead of a hunch:
+
+* ``python -m repro profile --scenario vehicle-telemetry`` — top-N cumulative
+  report on stdout,
+* ``--sort tottime`` — order by internal time instead,
+* ``--json profile.json`` — machine-readable rows (the hot-path benchmark's
+  companion format),
+* ``--scenario all`` — profile the whole catalogue in one aggregated run.
+
+``scripts/profile_simulate.py`` is a thin wrapper over the same functions
+for environments that prefer a script entry point.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Optional
+
+#: Sort orders accepted by the CLI, mapped to pstats keys.
+SORT_KEYS = {
+    "cumulative": pstats.SortKey.CUMULATIVE,
+    "tottime": pstats.SortKey.TIME,
+    "calls": pstats.SortKey.CALLS,
+}
+
+
+def profile_scenarios(
+    names: list[str],
+    *,
+    seed: int = 7,
+    smoke: bool = False,
+    top: int = 25,
+    sort: str = "cumulative",
+    overrides: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Run the named scenarios under cProfile; return a report document.
+
+    The document carries one aggregated profile over all requested scenarios
+    (hot spots shared across the catalogue aggregate instead of fragmenting)
+    plus per-scenario wall-clock — all derived from the profiler's own
+    timings, so the harness adds no wall-clock reads of its own.
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"unknown sort order {sort!r}; choose from {sorted(SORT_KEYS)}")
+    from repro.network.scenarios import run_scenario
+
+    profiler = cProfile.Profile()
+    per_scenario: list[dict[str, Any]] = []
+    for name in names:
+        before = _profiler_seconds(profiler)
+        profiler.enable()
+        run_scenario(name, seed=seed, smoke=smoke, **(overrides or {}))
+        profiler.disable()
+        per_scenario.append(
+            {"scenario": name, "seconds": round(_profiler_seconds(profiler) - before, 6)}
+        )
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(SORT_KEYS[sort])
+    rows: list[dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, line, function = func
+        rows.append(
+            {
+                "function": function,
+                "file": filename,
+                "line": line,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    return {
+        "scenarios": per_scenario,
+        "seed": seed,
+        "smoke": smoke,
+        "sort": sort,
+        "total_seconds": round(stats.total_tt, 6),  # type: ignore[attr-defined]
+        "rows": rows,
+    }
+
+
+def _profiler_seconds(profiler: cProfile.Profile) -> float:
+    """Total seconds accumulated in ``profiler`` so far (0.0 before any run).
+
+    The sum of per-function inline time equals the profiled wall time, which
+    keeps the per-scenario split inside the profiler's own clock instead of
+    adding a second timing source around it.
+    """
+    return sum(entry.inlinetime for entry in profiler.getstats())
+
+
+def render_profile(report: dict[str, Any]) -> str:
+    """Human-readable table of a :func:`profile_scenarios` document."""
+    lines = []
+    for item in report["scenarios"]:
+        lines.append(f"[profile] {item['scenario']}: {item['seconds']:.3f}s")
+    lines.append(
+        f"[profile] total {report['total_seconds']:.3f}s over "
+        f"{len(report['scenarios'])} scenario(s), sorted by {report['sort']}"
+    )
+    lines.append("")
+    lines.append(f"{'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function")
+    for row in report["rows"]:
+        location = f"{row['file']}:{row['line']}" if row["line"] else row["file"]
+        lines.append(
+            f"{row['ncalls']:>10} {row['tottime']:>9.4f} {row['cumtime']:>9.4f}  "
+            f"{row['function']}  ({location})"
+        )
+    return "\n".join(lines)

@@ -47,6 +47,7 @@ from repro.core.summarizer import DroppedEntry, Summarizer, SummaryResult
 from repro.core.validation import (
     deletion_is_effective,
     is_traceable_extension,
+    validate_block_signatures,
     validate_chain,
     verify_summary_determinism,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "SummaryResult",
     "deletion_is_effective",
     "is_traceable_extension",
+    "validate_block_signatures",
     "validate_chain",
     "verify_summary_determinism",
 ]

@@ -32,7 +32,7 @@ from repro.core.entry import Entry
 from repro.core.errors import AuthorizationError, ChainIntegrityError
 from repro.core.sequence import is_summary_slot
 from repro.crypto.hashing import GENESIS_PREVIOUS_HASH
-from repro.crypto.signatures import SignedPayload, new_scheme
+from repro.crypto.signatures import SignedPayload, scheme_instance
 
 
 def validate_block_link(previous: Block, block: Block) -> None:
@@ -53,7 +53,7 @@ def validate_block_link(previous: Block, block: Block) -> None:
 
 def validate_entry_signature(entry: Entry, scheme_name: str) -> None:
     """Verify one entry signature under the named scheme."""
-    scheme = new_scheme(scheme_name)
+    scheme = scheme_instance(scheme_name)
     signed = SignedPayload(
         payload=entry.signing_payload(),
         signer=entry.author,
@@ -64,6 +64,35 @@ def validate_entry_signature(entry: Entry, scheme_name: str) -> None:
         raise AuthorizationError(
             f"entry by {entry.author!r} carries an invalid {scheme_name} signature"
         )
+
+
+def validate_block_signatures(block: Block, scheme_name: str) -> None:
+    """Batch-verify every entry signature of a sealed block in one pass.
+
+    This is the anchor-side form of signature checking: instead of paying the
+    per-entry scheme setup (and, for ECDSA, a point decompression per entry),
+    the whole block goes to :meth:`SignatureScheme.verify_batch`, which
+    decodes each distinct author key once and reuses it across that author's
+    entries.  Raises :class:`AuthorizationError` naming the first offender.
+    """
+    if not block.entries:
+        return
+    scheme = scheme_instance(scheme_name)
+    batch = [
+        SignedPayload(
+            payload=entry.signing_payload(),
+            signer=entry.author,
+            signature=entry.signature,
+            public_key=entry.public_key,
+        )
+        for entry in block.entries
+    ]
+    for entry, valid in zip(block.entries, scheme.verify_batch(batch)):
+        if not valid:
+            raise AuthorizationError(
+                f"entry by {entry.author!r} in block {block.block_number} carries "
+                f"an invalid {scheme_name} signature"
+            )
 
 
 def validate_chain(
@@ -108,8 +137,7 @@ def validate_chain(
 
     if verify_signatures:
         for block in blocks:
-            for entry in block.entries:
-                validate_entry_signature(entry, config.signature_scheme)
+            validate_block_signatures(block, config.signature_scheme)
 
 
 def verify_summary_determinism(own: Block, other: Block) -> bool:

@@ -27,8 +27,12 @@ from repro.crypto.ecdsa import (
     SECP256K1,
     CurvePoint,
     EcdsaSignature,
+    decode_point,
+    decode_signature,
     ecdsa_sign,
     ecdsa_verify,
+    fast_math_enabled,
+    set_fast_math,
 )
 from repro.crypto.keys import Address, KeyPair, derive_address
 from repro.crypto.signatures import (
@@ -37,6 +41,7 @@ from repro.crypto.signatures import (
     SignedPayload,
     SimplifiedScheme,
     new_scheme,
+    scheme_instance,
 )
 from repro.crypto.chameleon import ChameleonHash, ChameleonParameters, Collision
 
@@ -53,8 +58,12 @@ __all__ = [
     "SECP256K1",
     "CurvePoint",
     "EcdsaSignature",
+    "decode_point",
+    "decode_signature",
     "ecdsa_sign",
     "ecdsa_verify",
+    "fast_math_enabled",
+    "set_fast_math",
     "Address",
     "KeyPair",
     "derive_address",
@@ -63,6 +72,7 @@ __all__ = [
     "SignedPayload",
     "SimplifiedScheme",
     "new_scheme",
+    "scheme_instance",
     "ChameleonHash",
     "ChameleonParameters",
     "Collision",

@@ -49,12 +49,24 @@ def canonical_json(value: Any) -> str:
     back to the recursive Python composer.  Either way the output is
     byte-identical to ``json.dumps(value, sort_keys=True, separators=(",",
     ":"))`` on the fully expanded structure.
+
+    Fast path: values whose concrete type is a builtin container or scalar
+    cannot carry the memo hook, so they skip the per-value ``getattr`` probe
+    and go straight to a single reused C encoder (``json.dumps`` with
+    non-default options builds a fresh ``JSONEncoder`` per call — measurably
+    hot when every block hash serialises through here).
     """
+    cls = value.__class__
+    if cls in _PLAIN_TYPES:
+        try:
+            return _encode_canonical(value)
+        except _NeedsComposition:
+            return _canonical(value)
     hook = getattr(value, "__canonical_json__", None)
     if hook is not None:
         return hook()
     try:
-        return json.dumps(value, sort_keys=True, separators=(",", ":"), default=_dumps_default)
+        return _encode_canonical(value)
     except _NeedsComposition:
         return _canonical(value)
 
@@ -67,6 +79,19 @@ def _dumps_default(value: Any) -> Any:
     if getattr(value, "__canonical_json__", None) is not None:
         raise _NeedsComposition
     return _encode_fallback(value)
+
+
+#: Builtin types that can never carry the ``__canonical_json__`` memo hook —
+#: they bypass the attribute probe entirely.  Subclasses (str-Enums!) are
+#: deliberately absent: ``value.__class__`` must match exactly.
+_PLAIN_TYPES = frozenset((dict, list, tuple, str, int, float, bool, type(None)))
+
+#: One reused canonical encoder; ``.encode`` is byte-identical to
+#: ``json.dumps(value, sort_keys=True, separators=(",", ":"),
+#: default=_dumps_default)`` without rebuilding the encoder per call.
+_encode_canonical = json.JSONEncoder(
+    sort_keys=True, separators=(",", ":"), default=_dumps_default
+).encode
 
 
 def _canonical(value: Any) -> str:

@@ -20,6 +20,8 @@ from repro.crypto.ecdsa import (
     CurveParameters,
     CurvePoint,
     EcdsaSignature,
+    decode_point,
+    decode_signature,
     derive_public_key,
     ecdsa_sign,
     ecdsa_verify,
@@ -57,7 +59,12 @@ class KeyPair:
     def __post_init__(self) -> None:
         if not 1 <= self.private_key < self.curve.n:
             raise ValueError("private key out of curve order range")
+        # Derived once: the SEC1 encoding and the address used to be
+        # recomputed on every property access, which in the hot loop meant a
+        # fresh hex format + SHA-256 per signed message.
         self._public_point = derive_public_key(self.private_key, self.curve)
+        self._public_key_hex = self._public_point.encode()
+        self._address = derive_address(self._public_key_hex)
 
     @classmethod
     def generate(cls, *, label: Optional[str] = None, curve: CurveParameters = SECP256K1) -> "KeyPair":
@@ -79,13 +86,13 @@ class KeyPair:
 
     @property
     def public_key_hex(self) -> str:
-        """Compressed SEC1 hex encoding of the public key."""
-        return self._public_point.encode()
+        """Compressed SEC1 hex encoding of the public key (memoised)."""
+        return self._public_key_hex
 
     @property
     def address(self) -> Address:
-        """Printable address derived from the public key."""
-        return derive_address(self.public_key_hex)
+        """Printable address derived from the public key (memoised)."""
+        return self._address
 
     def sign(self, message: bytes) -> EcdsaSignature:
         """Sign raw bytes with this key."""
@@ -111,8 +118,8 @@ def verify_with_public_key(public_key_hex: str, message: bytes, signature_hex: s
     validation code never needs access to :class:`KeyPair` objects.
     """
     try:
-        point = CurvePoint.decode(public_key_hex)
-        signature = EcdsaSignature.decode(signature_hex)
+        point = decode_point(public_key_hex)
+        signature = decode_signature(signature_hex)
     except (ValueError, IndexError):
         return False
     return ecdsa_verify(point, message, signature)

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.crypto.ecdsa import decode_point, decode_signature, ecdsa_verify
 from repro.crypto.hashing import canonical_json, sha256_hex
 from repro.crypto.keys import KeyPair, verify_with_public_key
 
@@ -73,6 +74,16 @@ class SignatureScheme(ABC):
     @abstractmethod
     def verify(self, signed: SignedPayload) -> bool:
         """Check a signed payload."""
+
+    def verify_batch(self, batch: list[SignedPayload]) -> list[bool]:
+        """Check many signed payloads in one pass.
+
+        The default is a per-payload loop; schemes with per-signer setup
+        costs (key decoding, point decompression) override this to reuse the
+        decoded material across payloads by the same author — the anchor
+        calls it with all entries of a sealed block at once.
+        """
+        return [self.verify(signed) for signed in batch]
 
     def same_signer(self, first: SignedPayload, second: SignedPayload) -> bool:
         """Decide whether two payloads were signed by the same participant.
@@ -134,11 +145,48 @@ class EcdsaScheme(SignatureScheme):
         message = canonical_json({"identity": signed.signer, "payload": signed.payload}).encode("utf-8")
         return verify_with_public_key(signed.public_key, message, signed.signature)
 
+    def verify_batch(self, batch: list[SignedPayload]) -> list[bool]:
+        """Verify a sealed block's worth of payloads in one pass.
+
+        Entries by the same author share a public key; the point is
+        decompressed once per distinct key (on top of the bounded LRU the
+        decoders already keep) and reused for every signature it covers.
+        """
+        decoded_keys: dict[str, Any] = {}
+        verdicts: list[bool] = []
+        for signed in batch:
+            if not signed.public_key:
+                verdicts.append(False)
+                continue
+            point = decoded_keys.get(signed.public_key)
+            if point is None:
+                try:
+                    point = decode_point(signed.public_key)
+                except ValueError:
+                    verdicts.append(False)
+                    continue
+                decoded_keys[signed.public_key] = point
+            try:
+                signature = decode_signature(signed.signature)
+            except ValueError:
+                verdicts.append(False)
+                continue
+            message = canonical_json(
+                {"identity": signed.signer, "payload": signed.payload}
+            ).encode("utf-8")
+            verdicts.append(ecdsa_verify(point, message, signature))
+        return verdicts
+
 
 _SCHEMES: dict[str, type[SignatureScheme]] = {
     SimplifiedScheme.name: SimplifiedScheme,
     EcdsaScheme.name: EcdsaScheme,
 }
+
+
+#: Shared stateless instances for the validation hot path; invalidated when
+#: :func:`register_scheme` replaces a class.
+_INSTANCES: dict[str, SignatureScheme] = {}
 
 
 def new_scheme(name: str) -> SignatureScheme:
@@ -148,6 +196,19 @@ def new_scheme(name: str) -> SignatureScheme:
     except KeyError:
         known = ", ".join(sorted(_SCHEMES))
         raise ValueError(f"unknown signature scheme {name!r}; known schemes: {known}") from None
+
+
+def scheme_instance(name: str) -> SignatureScheme:
+    """A shared instance of the named scheme (schemes are stateless).
+
+    Per-entry validation used to instantiate a fresh scheme object for every
+    signature it checked; the shared instance removes that allocation from
+    the message hot path.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = new_scheme(name)
+    return instance
 
 
 def sign_entry(
@@ -185,3 +246,4 @@ def register_scheme(scheme_class: type[SignatureScheme]) -> None:
     if not scheme_class.name or scheme_class.name == "abstract":
         raise ValueError("signature scheme must define a concrete name")
     _SCHEMES[scheme_class.name] = scheme_class
+    _INSTANCES.pop(scheme_class.name, None)

@@ -108,7 +108,13 @@ def rule_catalogue() -> list[Type[Rule]]:
     # Import for the registration side effect: the rule modules register
     # themselves on first import, so the catalogue is complete no matter
     # which entry point asked for it.
-    from repro.lint import rules_determinism, rules_docs, rules_frozen, rules_protocol  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        rules_determinism,
+        rules_docs,
+        rules_frozen,
+        rules_perf,
+        rules_protocol,
+    )
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 

@@ -1,0 +1,64 @@
+"""Performance rules (``REPRO-PERF5xx``).
+
+The hot-path pass (PR 8) made point and signature decoding cheap by routing
+them through bounded LRU caches (:func:`repro.crypto.ecdsa.decode_point`,
+:func:`repro.crypto.ecdsa.decode_signature`).  A call site that decodes via
+the raw classmethods instead re-runs the full on-curve / range validation on
+every call — correct, but it silently forfeits the caching the profiler
+showed dominating signature-heavy scenarios.  These rules keep new call
+sites on the cached entry points.
+
+Inside ``repro/crypto/`` the raw classmethods remain the implementation (the
+cached wrappers *call* them), so the package is exempt — mirroring how the
+determinism rules exempt ``core/clock.py`` from the wall-clock rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.base import Finding, Rule, register
+from repro.lint.project import FileContext
+
+#: Package whose modules implement the cached wrappers and may therefore
+#: call the raw decoders directly.
+CRYPTO_PACKAGE_FRAGMENT = "repro/crypto/"
+
+#: ``Class.decode`` receivers that have a cached wrapper, mapped to it.
+CACHED_DECODERS = {
+    "CurvePoint": "repro.crypto.decode_point",
+    "EcdsaSignature": "repro.crypto.decode_signature",
+}
+
+
+@register
+class UncachedDecodeRule(Rule):
+    """Raw ``CurvePoint.decode`` / ``EcdsaSignature.decode`` outside crypto/."""
+
+    rule_id = "REPRO-PERF501"
+    title = "uncached point/signature decode outside crypto/"
+    rationale = (
+        "the raw classmethods re-validate on every call; the cached wrappers "
+        "decode_point/decode_signature make repeated verification of the same "
+        "keys and seals O(1) after the first hit"
+    )
+    example = "point = CurvePoint.decode(key_hex)"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if CRYPTO_PACKAGE_FRAGMENT in ctx.rel_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "decode"):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id in CACHED_DECODERS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{receiver.id}.decode() bypasses the decode cache — call "
+                    f"{CACHED_DECODERS[receiver.id]}() instead",
+                )

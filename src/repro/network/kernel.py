@@ -41,9 +41,14 @@ class KernelError(SelectiveDeletionError):
     """Raised on invalid scheduling requests (e.g. scheduling into the past)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class EventHandle:
-    """Cancellation token for a scheduled (possibly recurring) event."""
+    """Cancellation token for a scheduled (possibly recurring) event.
+
+    One handle is allocated per scheduled event, so the class is slotted:
+    simulations schedule hundreds of thousands of events and the per-instance
+    ``__dict__`` was pure overhead on the kernel's hot path.
+    """
 
     time: float
     label: str = ""
@@ -63,6 +68,9 @@ class EventKernel:
         self._queue: list[tuple[float, float, int, EventHandle, Action]] = []
         self._seq = itertools.count()
         self._tiebreak = random.Random(seed)
+        # Bound method, looked up once: schedule_at draws exactly one sample
+        # per call and sits on the hot path of every message send.
+        self._tiebreak_random = self._tiebreak.random
         self._now = 0.0
         self.events_scheduled = 0
         self.events_processed = 0
@@ -99,9 +107,10 @@ class EventKernel:
             raise KernelError(
                 f"cannot schedule {label or 'event'!r} at {time}; virtual time is already {self._now}"
             )
-        handle = EventHandle(time=float(time), label=label)
+        time = float(time)
+        handle = EventHandle(time=time, label=label)
         heapq.heappush(
-            self._queue, (float(time), self._tiebreak.random(), next(self._seq), handle, action)
+            self._queue, (time, self._tiebreak_random(), next(self._seq), handle, action)
         )
         self.events_scheduled += 1
         return handle
@@ -148,15 +157,18 @@ class EventKernel:
 
     def step(self) -> bool:
         """Execute the single earliest queued event; ``False`` when idle."""
-        while self._queue:
-            time, _, _, handle, action = heapq.heappop(self._queue)
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            time, _, _, handle, action = heappop(queue)
             if handle.cancelled:
                 self.events_cancelled += 1
                 continue
             # Nested execution (a handler advancing time itself) may already
             # have moved `now` past this event's nominal time; virtual time
             # never flows backwards.
-            self._now = max(self._now, time)
+            if time > self._now:
+                self._now = time
             self.events_processed += 1
             action()
             return True
@@ -170,13 +182,20 @@ class EventKernel:
         call safe to nest from within event handlers.
         """
         executed = 0
-        while True:
-            upcoming = self.next_event_time()
-            if upcoming is None or upcoming > time:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            head_time, _, _, head_handle, _ = queue[0]
+            if head_handle.cancelled:
+                heappop(queue)
+                self.events_cancelled += 1
+                continue
+            if head_time > time:
                 break
             if self.step():
                 executed += 1
-        self._now = max(self._now, time)
+        if time > self._now:
+            self._now = time
         return executed
 
     def run(self, *, max_events: Optional[int] = None) -> int:

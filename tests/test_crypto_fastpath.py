@@ -1,0 +1,213 @@
+"""Property tests pinning the ECDSA fast path to the affine reference.
+
+The hot-path pass rewrote scalar multiplication on Jacobian coordinates with
+a precomputed fixed-base table and a windowed Shamir combination.  The old
+affine double-and-add survives verbatim as ``CurvePoint.affine_multiply`` —
+the executable spec — and these Hypothesis properties pin the two
+implementations together on random scalars and points, so any divergence in
+the optimised ladder is a test failure rather than a consensus split.
+
+The batch-verification tests pin :meth:`EcdsaScheme.verify_batch` (the
+sealed-block path that decodes each author key once) to the per-entry
+:meth:`EcdsaScheme.verify`, including rejection of a tampered entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.block import Block
+from repro.core.entry import Entry
+from repro.core.errors import AuthorizationError
+from repro.core.validation import validate_block_signatures
+from repro.crypto.ecdsa import (
+    SECP256K1,
+    CurvePoint,
+    EcdsaSignature,
+    clear_decode_caches,
+    decode_point,
+    decode_signature,
+    ecdsa_sign,
+    fast_math_enabled,
+    set_fast_math,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import EcdsaScheme, SignedPayload, sign_entry
+
+N = SECP256K1.n
+
+#: Scalars spanning the interesting ranges: tiny, boundary, full-width and
+#: beyond-order values (both paths reduce ``k*P`` identically since nP = O).
+scalars = st.one_of(
+    st.integers(min_value=-4, max_value=4),
+    st.integers(min_value=1, max_value=N + 4),
+)
+
+#: Non-trivial base points, generated as s*G through the fast path (cheap)
+#: — every test that consumes one re-derives expectations through the
+#: affine reference, so the generation route cannot mask a fast-path bug.
+base_scalars = st.integers(min_value=1, max_value=N - 1)
+
+
+@pytest.fixture(autouse=True)
+def _fast_math_restored():
+    """Every test leaves the global switch the way the suite expects it."""
+    yield
+    set_fast_math(True)
+
+
+class TestScalarMultiplication:
+    @settings(max_examples=20, deadline=None)
+    @given(k=scalars)
+    def test_fixed_base_matches_affine(self, k):
+        generator = CurvePoint.generator()
+        assert k * generator == generator.affine_multiply(k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(k=scalars, s=base_scalars)
+    def test_window_mult_matches_affine(self, k, s):
+        point = s * CurvePoint.generator()
+        assert k * point == point.affine_multiply(k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=base_scalars, b=base_scalars, s=base_scalars)
+    def test_multiplication_distributes_over_addition(self, a, b, s):
+        point = s * CurvePoint.generator()
+        assert (a + b) * point == (a * point) + (b * point)
+
+    @settings(max_examples=15, deadline=None)
+    @given(s=base_scalars)
+    def test_double_matches_self_addition(self, s):
+        point = s * CurvePoint.generator()
+        assert 2 * point == point + point
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=scalars)
+    def test_legacy_switch_routes_to_affine(self, k):
+        generator = CurvePoint.generator()
+        fast = k * generator
+        set_fast_math(False)
+        try:
+            assert not fast_math_enabled()
+            assert k * generator == fast
+        finally:
+            set_fast_math(True)
+
+    def test_order_multiple_is_infinity(self):
+        generator = CurvePoint.generator()
+        assert (N * generator).is_infinity
+        assert (0 * generator).is_infinity
+        assert generator.affine_multiply(N).is_infinity
+
+    def test_negative_scalar_negates(self):
+        generator = CurvePoint.generator()
+        assert (-3) * generator == -(3 * generator)
+
+
+class TestEncodingRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(s=base_scalars)
+    def test_point_round_trip_through_cache(self, s):
+        point = s * CurvePoint.generator()
+        encoded = point.encode()
+        assert decode_point(encoded) == point
+        # The cached wrapper must agree with the raw classmethod.
+        # repro: allow[REPRO-PERF501] pins the cache against the raw decoder
+        assert decode_point(encoded) == CurvePoint.decode(encoded)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_signature_round_trip_through_cache(self, seed):
+        key = KeyPair.from_seed(f"fastpath-{seed}")
+        signature = ecdsa_sign(key.private_key, b"round trip")
+        encoded = signature.encode()
+        assert decode_signature(encoded) == signature
+        # repro: allow[REPRO-PERF501] pins the cache against the raw decoder
+        assert decode_signature(encoded) == EcdsaSignature.decode(encoded)
+
+    def test_cache_survives_clearing(self):
+        point = 7 * CurvePoint.generator()
+        encoded = point.encode()
+        assert decode_point(encoded) == point
+        clear_decode_caches()
+        assert decode_point(encoded) == point
+
+
+def _signed_entries(authors: list[str]) -> list[Entry]:
+    scheme = EcdsaScheme()
+    entries = []
+    for index, author in enumerate(authors):
+        draft = Entry(data={"D": f"payload-{index}"}, author=author, signature="")
+        entries.append(sign_entry(scheme, draft, author, KeyPair.from_seed(author)))
+    return entries
+
+
+class TestBatchVerification:
+    def test_batch_matches_per_entry(self):
+        scheme = EcdsaScheme()
+        entries = _signed_entries(["ALPHA", "BRAVO", "ALPHA", "CHARLIE", "ALPHA"])
+        batch = [
+            SignedPayload(
+                payload=entry.signing_payload(),
+                signer=entry.author,
+                signature=entry.signature,
+                public_key=entry.public_key,
+            )
+            for entry in entries
+        ]
+        assert scheme.verify_batch(batch) == [scheme.verify(item) for item in batch]
+        assert scheme.verify_batch(batch) == [True] * len(batch)
+
+    def test_tampered_entry_rejected_in_batch(self):
+        scheme = EcdsaScheme()
+        entries = _signed_entries(["ALPHA", "BRAVO", "ALPHA"])
+        tampered = dataclasses.replace(entries[1], data={"D": "forged"})
+        batch = [
+            SignedPayload(
+                payload=entry.signing_payload(),
+                signer=entry.author,
+                signature=entry.signature,
+                public_key=entry.public_key,
+            )
+            for entry in [entries[0], tampered, entries[2]]
+        ]
+        assert scheme.verify_batch(batch) == [True, False, True]
+
+    def test_validate_block_signatures_accepts_sealed_block(self):
+        entries = _signed_entries(["ALPHA", "BRAVO", "ALPHA", "BRAVO"])
+        block = Block(block_number=1, timestamp=1, previous_hash="aa", entries=entries)
+        validate_block_signatures(block, "ecdsa")
+
+    def test_validate_block_signatures_names_offender(self):
+        entries = _signed_entries(["ALPHA", "BRAVO"])
+        tampered = dataclasses.replace(entries[1], data={"D": "forged"})
+        block = Block(
+            block_number=3,
+            timestamp=1,
+            previous_hash="aa",
+            entries=[entries[0], tampered],
+        )
+        with pytest.raises(AuthorizationError, match="BRAVO"):
+            validate_block_signatures(block, "ecdsa")
+
+    def test_batch_agrees_with_legacy_path(self):
+        scheme = EcdsaScheme()
+        entries = _signed_entries(["ALPHA", "BRAVO"])
+        batch = [
+            SignedPayload(
+                payload=entry.signing_payload(),
+                signer=entry.author,
+                signature=entry.signature,
+                public_key=entry.public_key,
+            )
+            for entry in entries
+        ]
+        fast = scheme.verify_batch(batch)
+        set_fast_math(False)
+        try:
+            assert scheme.verify_batch(batch) == fast == [True, True]
+        finally:
+            set_fast_math(True)

@@ -13,6 +13,7 @@ from repro.lint.rules_determinism import (
     WallClockRule,
 )
 from repro.lint.rules_frozen import FrozenSetattrRule, MissingCanonicalHookRule
+from repro.lint.rules_perf import UncachedDecodeRule
 
 
 def lint_snippet(source: str, rule, rel_path: str = "src/repro/demo.py"):
@@ -180,6 +181,45 @@ class TestFrozenRules:
             "        return {}\n"
         )
         assert not lint_snippet(source, MissingCanonicalHookRule, "src/repro/analysis/rows.py")
+
+
+class TestUncachedDecodeRule:
+    def test_curve_point_decode_flagged(self):
+        source = "point = CurvePoint.decode(key_hex)\n"
+        findings = lint_snippet(source, UncachedDecodeRule)
+        assert [f.rule_id for f in findings] == ["REPRO-PERF501"]
+        assert "decode_point" in findings[0].message
+
+    def test_signature_decode_flagged(self):
+        source = "sig = EcdsaSignature.decode(encoded)\n"
+        findings = lint_snippet(source, UncachedDecodeRule)
+        assert [f.rule_id for f in findings] == ["REPRO-PERF501"]
+        assert "decode_signature" in findings[0].message
+
+    def test_cached_wrappers_pass(self):
+        source = (
+            "from repro.crypto import decode_point, decode_signature\n"
+            "point = decode_point(key_hex)\n"
+            "sig = decode_signature(encoded)\n"
+        )
+        assert not lint_snippet(source, UncachedDecodeRule)
+
+    def test_crypto_package_exempt(self):
+        source = "point = CurvePoint.decode(encoded)\n"
+        assert not lint_snippet(
+            source, UncachedDecodeRule, "src/repro/crypto/keys.py"
+        )
+
+    def test_unrelated_decode_passes(self):
+        source = "text = codec.decode(raw)\nbody = payload.decode('utf-8')\n"
+        assert not lint_snippet(source, UncachedDecodeRule)
+
+    def test_pragma_suppresses(self):
+        source = (
+            "# repro: allow[REPRO-PERF501] exercises the raw classmethod\n"
+            "point = CurvePoint.decode(key_hex)\n"
+        )
+        assert not lint_snippet(source, UncachedDecodeRule)
 
 
 class TestPragmas:
