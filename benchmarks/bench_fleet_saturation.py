@@ -1,0 +1,271 @@
+"""Throughput/latency knee of one deployment under an open-loop fleet.
+
+The fleet engine exists to answer the question the closed-loop driver is
+structurally unable to ask: *what happens when offered load exceeds the
+service rate?*  This benchmark sweeps the ``fleet-saturation`` scenario's
+fleet size N from 10 to 10 000 clients at a fixed per-client arrival rate,
+so the offered load grows linearly in N while the deployment's service rate
+(one request round trip at a time) stays fixed — and records, per N,
+
+* fleet request-latency percentiles (p50/p95/p99/max, virtual ms),
+* throughput vs offered load, shed count, in-flight/backlog peaks.
+
+Expected shape: below the knee, latency is a flat transport round trip and
+throughput tracks offered load; past it, throughput plateaus at the service
+rate while p50 latency inflates by orders of magnitude (queue policy — the
+backlog charges every waiting millisecond to the request).  The knee
+detector pins where the transition happens: the first N whose p50 exceeds
+``KNEE_P50_INFLATION`` times the baseline (smallest-N) p50.
+
+The benchmark also pins the engine's executable-spec anchor: a one-client
+zero-budget fleet must leave chain *and* kernel statistics byte-identical
+to the closed-loop ``ScenarioWorkloadDriver`` baseline at the same seed.
+
+The measured trajectory is written to ``BENCH_fleet.json``.  Fleet sizes
+can be overridden for smoke runs (writes a gitignored .local file):
+``BENCH_FLEET_SIZES=4,8 pytest benchmarks/bench_fleet_saturation.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.core import ChainConfig
+from repro.network.kernel import EventKernel
+from repro.network.scenarios import run_scenario
+from repro.network.simulator import NetworkSimulator
+from repro.workloads import LoginAuditWorkload, ScenarioWorkloadDriver
+
+DEFAULT_FLEET_SIZES = (10, 30, 100, 300, 1000, 3000, 10000)
+#: Full-size runs refresh the committed trajectory; overridden sizes (CI
+#: smoke, local experiments) write a gitignored .local file instead.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+LOCAL_OUTPUT_PATH = OUTPUT_PATH.with_suffix(".local.json")
+
+SEED = 7
+EVENTS_PER_CLIENT = 3
+#: Per-client arrival gap: offered load is ``N / MEAN_GAP_MS`` requests per
+#: virtual ms.  6 s per client puts the crossing with the deployment's
+#: service rate (~45-50 req/s, one ~20 virtual-ms round trip at a time)
+#: around N ≈ 300 — mid-sweep, so both regimes are well sampled.
+MEAN_GAP_MS = 6000.0
+IN_FLIGHT_BUDGET = 8
+#: Queue (don't shed): saturation must show up as latency, the quantity the
+#: percentiles report — shed loss is exercised by the scenario's own tests.
+POLICY = "queue"
+#: The knee criterion: p50 this many times the unloaded baseline p50 means
+#: requests spend their life in the backlog, not in the transport.
+KNEE_P50_INFLATION = 10.0
+
+
+def fleet_sizes() -> list[int]:
+    raw = os.environ.get("BENCH_FLEET_SIZES", "")
+    if raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    return list(DEFAULT_FLEET_SIZES)
+
+
+def measure(n_clients: int) -> dict[str, float]:
+    result = run_scenario(
+        "fleet-saturation",
+        seed=SEED,
+        n_clients=n_clients,
+        events_per_client=EVENTS_PER_CLIENT,
+        mean_gap_ms=MEAN_GAP_MS,
+        in_flight_budget=IN_FLIGHT_BUDGET,
+        overload_policy=POLICY,
+        settle_ms=200.0,
+    )
+    assert result["replicas_identical"] is True, (
+        f"fleet-saturation did not converge at n_clients={n_clients}"
+    )
+    fleet = result["report"]["workloads"]["login-audit"]
+    latency = fleet["request_latency_ms"]
+    return {
+        "n_clients": float(n_clients),
+        "events_total": float(fleet["events_total"]),
+        "executed": float(fleet["executed"]),
+        "shed": float(fleet["shed"]),
+        "offered_load_per_s": result["offered_load_per_s"],
+        "throughput_per_s": fleet["throughput_per_s"],
+        "request_p50_ms": latency["p50"],
+        "request_p95_ms": latency["p95"],
+        "request_p99_ms": latency["p99"],
+        "request_max_ms": latency["max"],
+        "request_mean_ms": latency["mean"],
+        "in_flight_peak": float(fleet["in_flight_peak"]),
+        "backlog_peak": float(fleet["backlog_peak"]),
+        "virtual_time_ms": result["report"]["kernel"]["virtual_time_ms"],
+    }
+
+
+def detect_knee(rows: list[dict[str, float]]) -> dict[str, Any]:
+    """Locate the saturation knee on the p50-inflation criterion.
+
+    The baseline is the smallest fleet's p50 (a bare transport round trip);
+    the knee is the first N whose p50 exceeds ``KNEE_P50_INFLATION`` times
+    that baseline.  Returns the knee row's N, the last below-knee N, and the
+    inflation factors — or ``detected: False`` when the sweep never
+    saturates (smoke runs with tiny fleets).
+    """
+    baseline_p50 = rows[0]["request_p50_ms"]
+    knee: dict[str, Any] = {
+        "criterion": f"p50 > {KNEE_P50_INFLATION:g} * baseline p50",
+        "baseline_p50_ms": baseline_p50,
+        "detected": False,
+        "knee_clients": None,
+        "last_unsaturated_clients": None,
+        "p50_inflation_at_knee": None,
+    }
+    if baseline_p50 <= 0.0:
+        return knee
+    previous: Optional[dict[str, float]] = None
+    for row in rows:
+        inflation = row["request_p50_ms"] / baseline_p50
+        if inflation > KNEE_P50_INFLATION:
+            knee["detected"] = True
+            knee["knee_clients"] = int(row["n_clients"])
+            knee["last_unsaturated_clients"] = (
+                int(previous["n_clients"]) if previous is not None else None
+            )
+            knee["p50_inflation_at_knee"] = round(inflation, 6)
+            break
+        previous = row
+    return knee
+
+
+def closed_loop_parity() -> dict[str, bool]:
+    """The executable-spec anchor, re-proved on every benchmark refresh.
+
+    A one-client zero-budget fleet and the closed-loop driver, run against
+    identically-seeded deployments, must consume the kernel identically:
+    same chain statistics, same kernel statistics (event counts and the
+    seeded tie-break stream included).
+    """
+
+    def deployment() -> NetworkSimulator:
+        return NetworkSimulator(
+            anchor_count=2,
+            config=ChainConfig.paper_evaluation(),
+            kernel=EventKernel(seed=SEED),
+        )
+
+    def workload() -> LoginAuditWorkload:
+        return LoginAuditWorkload(
+            num_events=40, num_users=4, deletion_rate=0.1, idle_rate=0.1, seed=SEED
+        )
+
+    closed = deployment()
+    ScenarioWorkloadDriver(
+        workload(), closed.ledger_client(), mean_gap_ms=25.0, kernel=closed.kernel
+    ).schedule()
+    assert closed.kernel is not None
+    closed.kernel.run()
+
+    fleet = deployment()
+    fleet.drive_fleet([workload()], mean_gap_ms=25.0, in_flight_budget=0).schedule()
+    assert fleet.kernel is not None
+    fleet.kernel.run()
+
+    return {
+        "chain_statistics_identical": (
+            closed.producer.chain.statistics() == fleet.producer.chain.statistics()
+        ),
+        "kernel_statistics_identical": (
+            closed.kernel.statistics() == fleet.kernel.statistics()
+        ),
+    }
+
+
+def test_fleet_saturation_knee_shape():
+    sizes = fleet_sizes()
+    rows = [measure(n) for n in sizes]
+    knee = detect_knee(rows)
+    parity = closed_loop_parity()
+
+    output_path = OUTPUT_PATH if sizes == list(DEFAULT_FLEET_SIZES) else LOCAL_OUTPUT_PATH
+    output_path.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_fleet_saturation",
+                "config": {
+                    "scenario": "fleet-saturation",
+                    "seed": SEED,
+                    "events_per_client": EVENTS_PER_CLIENT,
+                    "mean_gap_ms": MEAN_GAP_MS,
+                    "in_flight_budget": IN_FLIGHT_BUDGET,
+                    "overload_policy": POLICY,
+                },
+                "fleet_sizes": sizes,
+                "trajectory": {str(int(row["n_clients"])): row for row in rows},
+                "knee": knee,
+                "closed_loop_parity": parity,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    print()
+    print(
+        f"{'clients':>8} {'offered/s':>10} {'tput/s':>8} {'p50 ms':>10} "
+        f"{'p95 ms':>10} {'p99 ms':>10} {'shed':>6}"
+    )
+    for row in rows:
+        print(
+            f"{row['n_clients']:>8.0f} {row['offered_load_per_s']:>10.1f} "
+            f"{row['throughput_per_s']:>8.1f} {row['request_p50_ms']:>10.1f} "
+            f"{row['request_p95_ms']:>10.1f} {row['request_p99_ms']:>10.1f} "
+            f"{row['shed']:>6.0f}"
+        )
+    if knee["detected"]:
+        print(
+            f"knee at N={knee['knee_clients']} "
+            f"(p50 inflation {knee['p50_inflation_at_knee']:.0f}x)"
+        )
+
+    # The spec anchor and the output shape hold at any sweep size.
+    assert parity["chain_statistics_identical"]
+    assert parity["kernel_statistics_identical"]
+    assert set(knee) == {
+        "criterion",
+        "baseline_p50_ms",
+        "detected",
+        "knee_clients",
+        "last_unsaturated_clients",
+        "p50_inflation_at_knee",
+    }
+    for row in rows:
+        assert row["executed"] + row["shed"] == row["events_total"]
+        assert row["request_p50_ms"] <= row["request_p95_ms"] <= row["request_p99_ms"]
+
+    if sizes[-1] / sizes[0] < 100:
+        return  # smoke run: the saturation shape needs a real size spread
+
+    # The knee lies strictly inside the sweep: the smallest fleet is
+    # unsaturated, the largest is far past saturation.
+    assert knee["detected"], "no saturation knee found across a 1000x size sweep"
+    assert sizes[0] < knee["knee_clients"] <= sizes[-1]
+    assert knee["last_unsaturated_clients"] is not None
+
+    # Past the knee, throughput has plateaued at the service rate: growing
+    # the fleet 10x more buys (at most) marginal extra throughput.
+    knee_index = next(
+        index for index, row in enumerate(rows) if int(row["n_clients"]) == knee["knee_clients"]
+    )
+    peak_throughput = max(row["throughput_per_s"] for row in rows)
+    assert rows[knee_index]["throughput_per_s"] > peak_throughput / 2
+    assert rows[-1]["throughput_per_s"] < peak_throughput * 1.05
+
+    # ...while p50 latency keeps inflating with the backlog.
+    saturated_p50 = [row["request_p50_ms"] for row in rows[knee_index:]]
+    assert all(earlier <= later for earlier, later in zip(saturated_p50, saturated_p50[1:]))
+
+    # Below the knee, latency never left the transport-round-trip regime.
+    for row in rows[:knee_index]:
+        assert row["request_p50_ms"] < KNEE_P50_INFLATION * knee["baseline_p50_ms"]

@@ -174,6 +174,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"simulate: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "clients", None) is not None:
+        overrides["n_clients"] = args.clients
     names = scenario_names() if args.scenario == "all" else [args.scenario]
     try:
         # Validate overrides against *every* selected scenario up front, so
@@ -377,6 +379,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="override one scenario parameter (repeatable); VALUE is JSON or a string",
+    )
+    simulate.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shorthand for --param n_clients=N (fleet size on workload scenarios)",
     )
     simulate.add_argument(
         "--check-determinism",

@@ -52,9 +52,11 @@ run pairs the attack counters with the quorum's defence counters under
 * ``clock-skew``            — a clock-skewed replica wins the producer
   failover; its future timestamps age temporary entries prematurely.
 
-Workload scenarios (driven by
-:class:`~repro.workloads.driver.ScenarioWorkloadDriver`: the full paper
-workload generators on virtual arrival timelines):
+Workload scenarios (the full paper workload generators on virtual arrival
+timelines — one closed-loop
+:class:`~repro.workloads.driver.ScenarioWorkloadDriver` by default, an
+open-loop :class:`~repro.workloads.fleet.FleetDriver` when ``n_clients``
+is raised above 1):
 
 * ``gdpr-erasure``          — Art. 17 erasure requests trail a personal-data
   stream; deletion latency is measured in virtual milliseconds.
@@ -64,6 +66,9 @@ workload generators on virtual arrival timelines):
   decommissioning triggers authority deletions, anti-entropy repairs loss.
 * ``coin-economy``          — a coin-transfer graph through a partition and
   heal; lost-wallet outputs are reclaimed by a recovery admin afterwards.
+* ``fleet-saturation``      — an open-loop client fleet drives one
+  deployment past its service rate; the report's p50/p95/p99 request
+  percentiles and shed counters say how it degraded.
 """
 
 from __future__ import annotations
@@ -95,7 +100,9 @@ from repro.network.message import MessageKind, reset_message_counter
 from repro.network.simulator import NetworkSimulator
 from repro.network.transport import GeoLatencyModel, LatencyModel
 from repro.workloads.coins import CoinTransferWorkload
+from repro.workloads.fleet import derive_client_seed
 from repro.workloads.gdpr import GdprErasureWorkload
+from repro.workloads.logging import LoginAuditWorkload
 from repro.workloads.supply_chain import SupplyChainWorkload
 from repro.workloads.vehicle import VehicleLifecycleWorkload
 
@@ -1165,6 +1172,67 @@ def _book_idle_heartbeat(
     )
 
 
+def _drive_traffic(
+    simulator: NetworkSimulator,
+    params: dict[str, Any],
+    build_workload: Callable[[int], Any],
+    **drive_kwargs: Any,
+) -> Any:
+    """One closed-loop driver or an open-loop fleet, per ``n_clients``.
+
+    ``build_workload(client_index)`` constructs client ``client_index``'s
+    pre-seeded workload (scenarios derive sub-seeds with
+    :func:`~repro.workloads.fleet.derive_client_seed`, whose client 0 keeps
+    the base seed).  ``n_clients == 1`` — every workload scenario's default —
+    takes the original :meth:`~NetworkSimulator.drive_workload` path
+    unchanged, so single-client runs stay byte-identical to the catalogue
+    before fleets existed; ``n_clients > 1`` builds an open-loop
+    :class:`~repro.workloads.fleet.FleetDriver` under the default in-flight
+    budget.
+    """
+    n_clients = int(params.get("n_clients", 1))
+    if n_clients < 1:
+        raise ValueError("n_clients must be at least 1")
+    if n_clients == 1:
+        return simulator.drive_workload(build_workload(0), **drive_kwargs)
+    return simulator.drive_fleet(
+        [build_workload(client_index) for client_index in range(n_clients)],
+        **drive_kwargs,
+    )
+
+
+def _set_submit_hook(driver: Any, params: dict[str, Any], hook: Callable[..., None]) -> None:
+    """Install a client-indexed submit hook on either driver kind.
+
+    Scenario hooks take ``(client_index, position, event, receipt)``; the
+    single-driver path adapts them to its ``(position, event, receipt)``
+    signature with client index 0.
+    """
+    if int(params.get("n_clients", 1)) == 1:
+        driver.on_submitted = (
+            lambda position, event, receipt: hook(0, position, event, receipt)
+        )
+    else:
+        driver.on_submitted = hook
+
+
+def _traffic_deletion(
+    driver: Any,
+    params: dict[str, Any],
+    client_index: int,
+    target: Any,
+    author: str,
+    *,
+    reason: str = "",
+) -> Any:
+    """Route an application-level deletion through the issuing client."""
+    if int(params.get("n_clients", 1)) == 1:
+        return driver.request_deletion(target, author, reason=reason)
+    return driver.request_deletion(
+        target, author, reason=reason, client_index=client_index
+    )
+
+
 @scenario(
     "gdpr-erasure",
     "Art. 17 erasure requests trail a personal-data stream; deletion latency in virtual ms",
@@ -1181,6 +1249,7 @@ def _book_idle_heartbeat(
         "idle_heartbeat_ms": 50.0,
         "empty_block_interval_ticks": 120,
         "fanout": 2,
+        "n_clients": 1,
     },
     smoke={"records": 24, "settle_ms": 600.0},
 )
@@ -1203,44 +1272,63 @@ def _gdpr_erasure(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     )
     kernel = simulator.kernel
     assert kernel is not None
-    workload = GdprErasureWorkload(
-        num_records=int(params["records"]),
-        num_subjects=int(params["subjects"]),
-        erasure_probability=float(params["erasure_probability"]),
-        min_delay=int(params["min_delay"]),
-        max_delay=int(params["max_delay"]),
-        seed=seed + 17,
-    )
-    subjects = {case.record_index: case.subject for case in workload.cases()}
-    erasures_due = workload.erasure_schedule()
-    references: dict[int, Any] = {}
-    flushed: list[int] = []
+    n_clients = int(params["n_clients"])
 
-    driver = simulator.drive_workload(
-        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
-    )
+    def build_workload(client_index: int) -> GdprErasureWorkload:
+        return GdprErasureWorkload(
+            num_records=int(params["records"]),
+            num_subjects=int(params["subjects"]),
+            erasure_probability=float(params["erasure_probability"]),
+            min_delay=int(params["min_delay"]),
+            max_delay=int(params["max_delay"]),
+            seed=derive_client_seed(seed + 17, client_index),
+        )
 
-    def erase(record_index: int) -> None:
-        reference = references.get(record_index)
+    driver = _drive_traffic(
+        simulator,
+        params,
+        build_workload,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
+    )
+    # Per-client application state: every fleet client runs its own
+    # derived-seed record stream with its own erasure schedule.
+    workloads = [driver.workload] if n_clients == 1 else driver.workloads
+    subjects = [
+        {case.record_index: case.subject for case in workload.cases()}
+        for workload in workloads
+    ]
+    erasures_due = [workload.erasure_schedule() for workload in workloads]
+    references: list[dict[int, Any]] = [{} for _ in workloads]
+    flushed: list[tuple[int, int]] = []
+
+    def erase(client_index: int, record_index: int) -> None:
+        reference = references[client_index].get(record_index)
         if reference is not None:
-            driver.request_deletion(
-                reference, subjects[record_index], reason="Art. 17 erasure request"
+            _traffic_deletion(
+                driver,
+                params,
+                client_index,
+                reference,
+                subjects[client_index][record_index],
+                reason="Art. 17 erasure request",
             )
 
-    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+    def on_submitted(client_index: int, position: int, event: Any, receipt: Any) -> None:
         if receipt.ok and receipt.reference is not None:
-            references[int(event.data["record_index"])] = receipt.reference
-        for due in erasures_due.get(position, []):
-            erase(due)
+            references[client_index][int(event.data["record_index"])] = receipt.reference
+        for due in erasures_due[client_index].get(position, []):
+            erase(client_index, due)
 
     def flush_late_erasures() -> None:
         # Erasure positions beyond the stream: the data subjects come back
         # after the write traffic ended and still exercise their right.
-        for position in sorted(erasures_due):
-            if position >= workload.num_records:
-                for due in sorted(erasures_due[position]):
-                    flushed.append(due)
-                    erase(due)
+        for client_index, workload in enumerate(workloads):
+            for position in sorted(erasures_due[client_index]):
+                if position >= workload.num_records:
+                    for due in sorted(erasures_due[client_index][position]):
+                        flushed.append((client_index, due))
+                        erase(client_index, due)
 
     completion: dict[str, float] = {}
 
@@ -1256,14 +1344,16 @@ def _gdpr_erasure(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             simulator, params, until=kernel.now + float(params["settle_ms"])
         )
 
-    driver.on_submitted = on_submitted
+    _set_submit_hook(driver, params, on_submitted)
     driver.on_finished = after_traffic
     driver.schedule()
     kernel.run()
     report = simulator.finalize()
     return {
         "report": report.as_dict(),
-        "erasures_due": sum(len(due) for due in erasures_due.values()),
+        "erasures_due": sum(
+            len(due) for per_client in erasures_due for due in per_client.values()
+        ),
         "erasures_after_stream": len(flushed),
         "traffic_completed_at_ms": round(completion["at_ms"], 6),
         "heads": simulator.all_heads(),
@@ -1286,6 +1376,7 @@ def _gdpr_erasure(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "idle_heartbeat_ms": 60.0,
         "empty_block_interval_ticks": 150,
         "fanout": 2,
+        "n_clients": 1,
     },
     smoke={"products": 8, "settle_ms": 900.0},
 )
@@ -1310,40 +1401,57 @@ def _supply_chain_recall(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     )
     kernel = simulator.kernel
     assert kernel is not None
-    workload = SupplyChainWorkload(
-        num_products=int(params["products"]),
-        shelf_life_ticks=int(params["shelf_life_ticks"]),
-        stations=int(params["stations"]),
-        seed=seed + 29,
-    )
-    recall_rng = random.Random(seed + 31)
-    recalled = {
-        f"PRODUCT-{index:05d}"
-        for index in range(workload.num_products)
-        if recall_rng.random() < float(params["recall_rate"])
-    }
-    product_refs: dict[str, list[Any]] = {}
-    recall_requests = 0
+    n_clients = int(params["n_clients"])
 
-    driver = simulator.drive_workload(
-        workload,
+    def build_workload(client_index: int) -> SupplyChainWorkload:
+        return SupplyChainWorkload(
+            num_products=int(params["products"]),
+            shelf_life_ticks=int(params["shelf_life_ticks"]),
+            stations=int(params["stations"]),
+            seed=derive_client_seed(seed + 29, client_index),
+        )
+
+    driver = _drive_traffic(
+        simulator,
+        params,
+        build_workload,
         mean_gap_ms=float(params["mean_gap_ms"]),
         start_at_ms=20.0,
         expiry_ms_per_tick=float(params["expiry_ms_per_tick"]),
     )
-    final_stage = workload.stages[-1]
+    workloads = [driver.workload] if n_clients == 1 else driver.workloads
+    # Per-client recall draws and reference maps: fleet clients ship
+    # identically-named product ids, so everything is keyed by client.
+    recalled: list[set[str]] = []
+    for client_index, workload in enumerate(workloads):
+        recall_rng = random.Random(derive_client_seed(seed + 31, client_index))
+        recalled.append(
+            {
+                f"PRODUCT-{index:05d}"
+                for index in range(workload.num_products)
+                if recall_rng.random() < float(params["recall_rate"])
+            }
+        )
+    product_refs: list[dict[str, list[Any]]] = [{} for _ in workloads]
+    recall_requests = 0
+    final_stage = workloads[0].stages[-1]
 
-    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+    def on_submitted(client_index: int, position: int, event: Any, receipt: Any) -> None:
         nonlocal recall_requests
         product = event.data.get("product")
         if product is None or not receipt.ok or receipt.reference is None:
             return
-        product_refs.setdefault(product, []).append(receipt.reference)
-        if product in recalled and event.data.get("stage") == final_stage:
-            for reference in product_refs[product]:
+        product_refs[client_index].setdefault(product, []).append(receipt.reference)
+        if product in recalled[client_index] and event.data.get("stage") == final_stage:
+            for reference in product_refs[client_index][product]:
                 recall_requests += 1
-                driver.request_deletion(
-                    reference, "REGULATOR", reason=f"recall of {product}"
+                _traffic_deletion(
+                    driver,
+                    params,
+                    client_index,
+                    reference,
+                    "REGULATOR",
+                    reason=f"recall of {product}",
                 )
 
     completion: dict[str, float] = {}
@@ -1354,7 +1462,7 @@ def _supply_chain_recall(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             simulator, params, until=kernel.now + float(params["settle_ms"])
         )
 
-    driver.on_submitted = on_submitted
+    _set_submit_hook(driver, params, on_submitted)
     driver.on_finished = after_traffic
     driver.schedule()
     kernel.run()
@@ -1363,13 +1471,16 @@ def _supply_chain_recall(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     # is part of the deterministic run.
     vanished = sum(
         1
-        for product, refs in sorted(product_refs.items())
+        for refs_by_product in product_refs
+        for product, refs in sorted(refs_by_product.items())
         if all(driver.client.find_entry(reference) is None for reference in refs)
     )
     report = simulator.finalize()
     return {
         "report": report.as_dict(),
-        "recalled_products": sorted(recalled),
+        "recalled_products": sorted(recalled[0])
+        if n_clients == 1
+        else [sorted(per_client) for per_client in recalled],
         "recall_requests": recall_requests,
         "products_fully_vanished": vanished,
         "traffic_completed_at_ms": round(completion["at_ms"], 6),
@@ -1394,6 +1505,7 @@ def _supply_chain_recall(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "idle_heartbeat_ms": 60.0,
         "empty_block_interval_ticks": 140,
         "fanout": 2,
+        "n_clients": 1,
     },
     smoke={"vehicles": 6, "events_per_vehicle": 4, "settle_ms": 800.0},
 )
@@ -1417,32 +1529,46 @@ def _vehicle_telemetry(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     )
     kernel = simulator.kernel
     assert kernel is not None
-    workload = VehicleLifecycleWorkload(
-        num_vehicles=int(params["vehicles"]),
-        events_per_vehicle=int(params["events_per_vehicle"]),
-        decommission_fraction=float(params["decommission_fraction"]),
-        workshops=int(params["workshops"]),
-        seed=seed + 41,
+    n_clients = int(params["n_clients"])
+
+    def build_workload(client_index: int) -> VehicleLifecycleWorkload:
+        return VehicleLifecycleWorkload(
+            num_vehicles=int(params["vehicles"]),
+            events_per_vehicle=int(params["events_per_vehicle"]),
+            decommission_fraction=float(params["decommission_fraction"]),
+            workshops=int(params["workshops"]),
+            seed=derive_client_seed(seed + 41, client_index),
+        )
+
+    driver = _drive_traffic(
+        simulator,
+        params,
+        build_workload,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
     )
-    vehicle_refs: dict[str, list[Any]] = {}
+    # Fleet clients reuse the same VIN namespace, so reference maps are
+    # keyed by (client, vin).
+    vehicle_refs: dict[tuple[int, str], list[Any]] = {}
     decommissioned: list[str] = []
 
-    driver = simulator.drive_workload(
-        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
-    )
-
-    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+    def on_submitted(client_index: int, position: int, event: Any, receipt: Any) -> None:
         vin = event.data.get("vin")
         if vin is None or not receipt.ok or receipt.reference is None:
             return
         if event.data.get("maintenance") == "decommissioned":
-            decommissioned.append(vin)
-            for reference in vehicle_refs.get(vin, []):
-                driver.request_deletion(
-                    reference, "REGISTRATION-AUTHORITY", reason=f"{vin} decommissioned"
+            decommissioned.append(vin if n_clients == 1 else f"c{client_index}:{vin}")
+            for reference in vehicle_refs.get((client_index, vin), []):
+                _traffic_deletion(
+                    driver,
+                    params,
+                    client_index,
+                    reference,
+                    "REGISTRATION-AUTHORITY",
+                    reason=f"{vin} decommissioned",
                 )
         else:
-            vehicle_refs.setdefault(vin, []).append(receipt.reference)
+            vehicle_refs.setdefault((client_index, vin), []).append(receipt.reference)
 
     completion: dict[str, float] = {}
 
@@ -1460,7 +1586,7 @@ def _vehicle_telemetry(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             until=kernel.now + settle + quiet,
         )
 
-    driver.on_submitted = on_submitted
+    _set_submit_hook(driver, params, on_submitted)
     driver.on_finished = after_traffic
     driver.schedule()
     kernel.run()
@@ -1492,6 +1618,7 @@ def _vehicle_telemetry(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "idle_heartbeat_ms": 60.0,
         "empty_block_interval_ticks": 130,
         "fanout": 2,
+        "n_clients": 1,
     },
     smoke={"transfers": 18, "partition_at_ms": 150.0, "heal_at_ms": 400.0, "settle_ms": 700.0},
 )
@@ -1515,30 +1642,47 @@ def _coin_economy(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     )
     kernel = simulator.kernel
     assert kernel is not None
-    workload = CoinTransferWorkload(
-        num_transfers=int(params["transfers"]),
-        num_wallets=int(params["wallets"]),
-        spend_probability=float(params["spend_probability"]),
-        lost_wallet_fraction=float(params["lost_wallet_fraction"]),
-        seed=seed + 53,
-    )
-    lost = workload.lost_wallets()
-    transfers = workload.transfers()
-    spent_ids = {transfer.spends for transfer in transfers if transfer.spends is not None}
-    reclaimable = [
-        transfer.transfer_id
-        for transfer in transfers
-        if transfer.receiver in lost and transfer.transfer_id not in spent_ids
-    ]
-    transfer_refs: dict[int, Any] = {}
+    n_clients = int(params["n_clients"])
 
-    driver = simulator.drive_workload(
-        workload, mean_gap_ms=float(params["mean_gap_ms"]), start_at_ms=20.0
-    )
+    def build_workload(client_index: int) -> CoinTransferWorkload:
+        return CoinTransferWorkload(
+            num_transfers=int(params["transfers"]),
+            num_wallets=int(params["wallets"]),
+            spend_probability=float(params["spend_probability"]),
+            lost_wallet_fraction=float(params["lost_wallet_fraction"]),
+            seed=derive_client_seed(seed + 53, client_index),
+        )
 
-    def on_submitted(position: int, event: Any, receipt: Any) -> None:
+    driver = _drive_traffic(
+        simulator,
+        params,
+        build_workload,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
+    )
+    workloads = [driver.workload] if n_clients == 1 else driver.workloads
+    # Per-client economies: wallet names and transfer ids repeat across
+    # fleet clients, so lost-wallet bookkeeping is keyed by client.
+    lost = [workload.lost_wallets() for workload in workloads]
+    reclaimable: list[tuple[int, int]] = []
+    for client_index, workload in enumerate(workloads):
+        transfers = workload.transfers()
+        spent_ids = {
+            transfer.spends for transfer in transfers if transfer.spends is not None
+        }
+        reclaimable.extend(
+            (client_index, transfer.transfer_id)
+            for transfer in transfers
+            if transfer.receiver in lost[client_index]
+            and transfer.transfer_id not in spent_ids
+        )
+    transfer_refs: dict[tuple[int, int], Any] = {}
+
+    def on_submitted(client_index: int, position: int, event: Any, receipt: Any) -> None:
         if receipt.ok and receipt.reference is not None:
-            transfer_refs[int(event.data["transfer_id"])] = receipt.reference
+            transfer_refs[(client_index, int(event.data["transfer_id"]))] = (
+                receipt.reference
+            )
 
     ids = simulator.anchor_ids
     near, far = ids[: len(ids) // 2], ids[len(ids) // 2 :]
@@ -1547,12 +1691,17 @@ def _coin_economy(seed: int, params: dict[str, Any]) -> dict[str, Any]:
     recovered: list[int] = []
 
     def reclaim_lost_outputs() -> None:
-        for transfer_id in reclaimable:
-            reference = transfer_refs.get(transfer_id)
+        for client_index, transfer_id in reclaimable:
+            reference = transfer_refs.get((client_index, transfer_id))
             if reference is None:
                 continue
-            receipt = driver.request_deletion(
-                reference, "RECOVERY", reason="lost-key recovery (Section V-A)"
+            receipt = _traffic_deletion(
+                driver,
+                params,
+                client_index,
+                reference,
+                "RECOVERY",
+                reason="lost-key recovery (Section V-A)",
             )
             if receipt.approved:
                 recovered.append(transfer_id)
@@ -1576,16 +1725,110 @@ def _coin_economy(seed: int, params: dict[str, Any]) -> dict[str, Any]:
             until=kernel.now + settle + quiet,
         )
 
-    driver.on_submitted = on_submitted
+    _set_submit_hook(driver, params, on_submitted)
     driver.on_finished = after_traffic
     driver.schedule()
     kernel.run()
     report = simulator.finalize()
     return {
         "report": report.as_dict(),
-        "lost_wallets": sorted(lost),
+        "lost_wallets": sorted(lost[0])
+        if n_clients == 1
+        else [sorted(per_client) for per_client in lost],
         "reclaimable_outputs": len(reclaimable),
         "recovered_outputs": len(recovered),
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
+        "heads": simulator.all_heads(),
+        "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+@scenario(
+    "fleet-saturation",
+    "an open-loop client fleet drives one deployment to saturation; honest latency percentiles",
+    defaults={
+        "anchors": 3,
+        "n_clients": 20,
+        "events_per_client": 6,
+        "users_per_client": 3,
+        "mean_gap_ms": 400.0,
+        "in_flight_budget": 8,
+        "overload_policy": "queue",
+        "settle_ms": 400.0,
+        "idle_heartbeat_ms": 60.0,
+        "empty_block_interval_ticks": 150,
+        "fanout": 2,
+    },
+    smoke={"n_clients": 8, "events_per_client": 4, "settle_ms": 300.0},
+)
+def _fleet_saturation(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """An open-loop login-audit fleet against a single deployment.
+
+    N seeded clients issue requests at their scheduled arrival times
+    regardless of completion — the offered load scales with
+    ``n_clients / mean_gap_ms`` while the service rate stays fixed, so
+    raising ``n_clients`` pushes the deployment through its knee.  Below
+    the knee request latency is the transport round trip; past it, the
+    shared in-flight budget either queues (``overload_policy=queue`` —
+    latency grows with backlog) or sheds (``shed`` — loss grows instead),
+    and the fleet percentiles under ``report["workloads"]`` record which.
+    `benchmarks/bench_fleet_saturation.py` sweeps ``n_clients`` over this
+    scenario's engine to locate the knee.
+    """
+    simulator = _deployment(
+        seed,
+        anchors=int(params["anchors"]),
+        fanout=int(params["fanout"]),
+        config=_workload_chain_config(params),
+    )
+    kernel = simulator.kernel
+    assert kernel is not None
+    n_clients = int(params["n_clients"])
+    if n_clients < 1:
+        raise ValueError("n_clients must be at least 1")
+    workloads = [
+        LoginAuditWorkload(
+            num_events=int(params["events_per_client"]),
+            num_users=int(params["users_per_client"]),
+            # No stream deletions: login-audit deletion targets are
+            # position-estimated block numbers, which interleaving breaks —
+            # deletion-latency percentiles under fleets are exercised by
+            # `gdpr-erasure` with `n_clients > 1` (receipt references).
+            deletion_rate=0.0,
+            seed=derive_client_seed(seed + 61, client_index),
+        )
+        for client_index in range(n_clients)
+    ]
+    driver = simulator.drive_fleet(
+        workloads,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
+        in_flight_budget=int(params["in_flight_budget"]),
+        policy=str(params["overload_policy"]),
+    )
+
+    completion: dict[str, float] = {}
+
+    def after_traffic() -> None:
+        completion["at_ms"] = kernel.now
+        _book_idle_heartbeat(
+            simulator, params, until=kernel.now + float(params["settle_ms"])
+        )
+
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    report = simulator.finalize()
+    fleet = report.workloads[driver.workload.name]
+    return {
+        "report": report.as_dict(),
+        "offered_load_per_s": round(
+            n_clients / float(params["mean_gap_ms"]) * 1000.0, 6
+        ),
+        "throughput_per_s": fleet["throughput_per_s"],
+        "request_p99_ms": fleet["request_latency_ms"]["p99"],
+        "shed": fleet["shed"],
+        "in_flight_peak": fleet["in_flight_peak"],
         "traffic_completed_at_ms": round(completion["at_ms"], 6),
         "heads": simulator.all_heads(),
         "replicas_identical": simulator.replicas_identical(),

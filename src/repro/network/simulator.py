@@ -24,7 +24,7 @@ reproducible runs such as partition-and-heal or failover-storm — lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.adversary.base import AdversaryActor
@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.sync.antientropy import AntiEntropyService
     from repro.workloads.base import Workload
     from repro.workloads.driver import ScenarioWorkloadDriver, SubmitHook
+    from repro.workloads.fleet import FleetDriver, FleetPolicy, FleetSubmitHook
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.consensus.election import HeadElection
@@ -385,6 +386,53 @@ class NetworkSimulator:
             bus=self.producer.chain.bus,
             start_at_ms=start_at_ms,
             expiry_ms_per_tick=expiry_ms_per_tick,
+            on_submitted=on_submitted,
+        )
+        self._workload_drivers.append(driver)
+        return driver
+
+    def drive_fleet(
+        self,
+        workloads: "Sequence[Workload]",
+        *,
+        mean_gap_ms: float,
+        jitter: float = 0.5,
+        ms_per_tick: float = 1.0,
+        start_at_ms: float = 0.0,
+        expiry_ms_per_tick: Optional[float] = None,
+        in_flight_budget: int = 8,
+        policy: "FleetPolicy | str" = "queue",
+        on_submitted: Optional["FleetSubmitHook"] = None,
+        anchor_id: Optional[str] = None,
+    ) -> "FleetDriver":
+        """Bind a multi-client fleet to this deployment (kernel required).
+
+        Builds a :class:`~repro.workloads.fleet.FleetDriver` over one
+        :class:`~repro.service.remote.RemoteLedgerClient` per fleet client
+        (all bound to ``anchor_id``, default the producer), wired to this
+        deployment's kernel and the producer chain's event bus.  The caller
+        supplies one pre-seeded workload per client — typically built with
+        :func:`~repro.workloads.fleet.derive_client_seed` — installs any
+        hooks, calls
+        :meth:`~repro.workloads.fleet.FleetDriver.schedule`, and advances
+        the kernel; :meth:`finalize` folds the fleet statistics (per-client
+        and aggregate latency percentiles) into ``report.workloads``.
+        """
+        from repro.workloads.fleet import FleetDriver
+
+        kernel = self._require_kernel()
+        driver = FleetDriver(
+            workloads,
+            [self.ledger_client(anchor_id) for _ in workloads],
+            mean_gap_ms=mean_gap_ms,
+            jitter=jitter,
+            ms_per_tick=ms_per_tick,
+            kernel=kernel,
+            bus=self.producer.chain.bus,
+            start_at_ms=start_at_ms,
+            expiry_ms_per_tick=expiry_ms_per_tick,
+            in_flight_budget=in_flight_budget,
+            policy=policy,
             on_submitted=on_submitted,
         )
         self._workload_drivers.append(driver)

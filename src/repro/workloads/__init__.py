@@ -10,6 +10,15 @@ from repro.workloads.base import (
 )
 from repro.workloads.coins import CoinTransferWorkload, Transfer
 from repro.workloads.driver import ScenarioWorkloadDriver, WorkloadRunStats
+from repro.workloads.fleet import (
+    FleetArrival,
+    FleetClientStats,
+    FleetDriver,
+    FleetPolicy,
+    FleetRunStats,
+    derive_client_seed,
+    fleet_timeline,
+)
 from repro.workloads.gdpr import ErasureCase, GdprErasureWorkload
 from repro.workloads.logging import (
     PAPER_USERS,
@@ -17,6 +26,7 @@ from repro.workloads.logging import (
     PaperScenarioWorkload,
     login_record,
 )
+from repro.workloads.stats import PERCENTILE_LEVELS, latency_summary, percentile
 from repro.workloads.supply_chain import SupplyChainWorkload
 from repro.workloads.vehicle import VehicleLifecycleWorkload
 
@@ -28,9 +38,19 @@ __all__ = [
     "arrival_schedule",
     "replay",
     "CoinTransferWorkload",
+    "FleetArrival",
+    "FleetClientStats",
+    "FleetDriver",
+    "FleetPolicy",
+    "FleetRunStats",
+    "PERCENTILE_LEVELS",
     "ScenarioWorkloadDriver",
     "Transfer",
     "WorkloadRunStats",
+    "derive_client_seed",
+    "fleet_timeline",
+    "latency_summary",
+    "percentile",
     "ErasureCase",
     "GdprErasureWorkload",
     "PAPER_USERS",

@@ -39,6 +39,7 @@ from repro.service.client import (
     TargetLike,
 )
 from repro.workloads.base import EventKind, Workload, WorkloadEvent, arrival_schedule
+from repro.workloads.stats import latency_summary
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel is optional)
     from repro.network.kernel import EventKernel
@@ -85,8 +86,13 @@ class WorkloadRunStats:
     deletion_latency_ms: list[float] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
-        """Deterministic plain-dict view for scenario results and benchmarks."""
-        latencies = self.deletion_latency_ms
+        """Deterministic plain-dict view for scenario results and benchmarks.
+
+        ``deletion_latency_ms`` reports the full percentile block of
+        :func:`~repro.workloads.stats.latency_summary` — count/mean/min/max
+        alone hid the tail (a bimodal sample keeps a healthy mean while its
+        p99 explodes; pinned by ``tests/test_fleet_driver.py``).
+        """
         return {
             "workload": self.workload,
             "events_total": self.events_total,
@@ -101,12 +107,7 @@ class WorkloadRunStats:
             "idle_rejected": self.idle_rejected,
             "blocks_sealed": self.blocks_sealed,
             "horizon_ms": round(self.horizon_ms, 6),
-            "deletion_latency_ms": {
-                "count": len(latencies),
-                "mean": round(sum(latencies) / len(latencies), 6) if latencies else 0.0,
-                "min": round(min(latencies), 6) if latencies else 0.0,
-                "max": round(max(latencies), 6) if latencies else 0.0,
-            },
+            "deletion_latency_ms": latency_summary(self.deletion_latency_ms),
         }
 
 

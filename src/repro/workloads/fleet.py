@@ -1,0 +1,606 @@
+"""Open-loop multi-client traffic engine.
+
+:class:`~repro.workloads.driver.ScenarioWorkloadDriver` is a *closed loop*:
+event ``n+1`` is booked only once event ``n`` completes, so the deployment
+services exactly one request at a time and every latency number is an
+artifact of sequential issue.  A real population of clients does not wait
+for each other — requests land when their senders decide, and a saturated
+service accumulates backlog or drops work.  This module supplies that
+missing traffic model:
+
+* :func:`derive_client_seed` derives one sub-seed per fleet client from the
+  fleet seed (client 0 keeps the fleet seed itself, so a one-client fleet is
+  the single-driver run under another name);
+* :func:`fleet_timeline` builds every client's
+  :func:`~repro.workloads.base.arrival_schedule` timeline and interleaves
+  them deterministically (sorted by arrival time, ties broken by client then
+  position — a pure function of ``(seed, n_clients)``);
+* :class:`FleetDriver` books the interleaved arrivals on the shared
+  :class:`~repro.network.kernel.EventKernel` *up front* — open loop: an
+  arrival fires at its scheduled time regardless of what completed — and
+  admits them to service under a shared **in-flight budget**.  When the
+  budget is exhausted the typed :class:`FleetPolicy` decides: ``SHED`` drops
+  the request on the floor (counted, never issued), ``QUEUE`` parks it in a
+  client-side backlog that is admitted as slots free up.  Request latency is
+  measured from the *scheduled arrival* to completion, so queueing delay is
+  charged to the service instead of silently vanishing (no coordinated
+  omission), and the per-client / fleet-aggregate percentiles of
+  :func:`~repro.workloads.stats.latency_summary` land under
+  ``report["workloads"]``.
+
+``in_flight_budget=0`` selects the **closed-loop spec mode**: the global
+interleaved timeline is chained exactly like the single driver (event
+``k+1`` books when ``k`` completes, at ``max(arrival, now)``), which makes a
+one-client zero-budget fleet reproduce the
+:class:`~repro.workloads.driver.ScenarioWorkloadDriver` run byte-identically
+— the executable-spec pin of ``tests/test_workload_contract.py``.
+
+Determinism: sub-seeds and timelines are pure functions of the fleet seed,
+the kernel's seeded tie-break orders same-instant arrivals, and all reported
+numbers are plain rounded floats — fleet runs replay byte-identically per
+``(seed, n_clients, budget, policy)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from repro.core.events import ChainEvent, EventBus, EventType, Subscription
+from repro.service.client import (
+    DeletionReceipt,
+    LedgerClient,
+    LedgerError,
+    SubmitReceipt,
+    TargetLike,
+    as_reference,
+)
+from repro.workloads.base import EventKind, Workload, WorkloadEvent, arrival_schedule
+from repro.workloads.driver import WorkloadRunStats
+from repro.workloads.stats import latency_summary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel is optional)
+    from repro.network.kernel import EventKernel
+
+#: Hook invoked after every ENTRY submission:
+#: ``(client_index, position, event, receipt)`` — ``position`` is the event's
+#: index within *its own client's* timeline, so per-client application state
+#: (reference maps, erasure schedules) keys naturally.
+FleetSubmitHook = Callable[[int, int, WorkloadEvent, SubmitReceipt], None]
+
+#: Sub-seed stride: a large prime so neighbouring client indices land on
+#: unrelated RNG streams.  Client 0 keeps the fleet seed itself — the
+#: executable-spec pin relies on a one-client fleet replaying the exact
+#: single-driver workload.
+_CLIENT_SEED_STRIDE = 7919
+
+
+class FleetPolicy(str, Enum):
+    """What happens to an arrival when the in-flight budget is exhausted."""
+
+    #: Drop the request (counted under ``shed``, never issued) — the arrival
+    #: process stays strictly open-loop and overload shows up as loss.
+    SHED = "shed"
+    #: Park the request in a client-side backlog admitted as slots free up —
+    #: nothing is lost and overload shows up as queueing latency.
+    QUEUE = "queue"
+
+
+def derive_client_seed(seed: int, client_index: int) -> int:
+    """The deterministic sub-seed of fleet client ``client_index``.
+
+    Client 0 keeps ``seed`` unchanged (a one-client fleet *is* the
+    single-driver run); further clients stride by a fixed prime.
+    """
+    if client_index < 0:
+        raise ValueError("client_index must be non-negative")
+    return seed + _CLIENT_SEED_STRIDE * client_index
+
+
+@dataclass(frozen=True)
+class FleetArrival:
+    """One scheduled request of the interleaved fleet timeline."""
+
+    at_ms: float
+    client_index: int
+    position: int
+    event: WorkloadEvent
+
+
+def fleet_timeline(
+    workloads: Sequence[Workload],
+    *,
+    mean_gap_ms: float,
+    jitter: float = 0.5,
+    ms_per_tick: float = 1.0,
+    start_at_ms: float = 0.0,
+) -> list[FleetArrival]:
+    """Interleave every client's arrival schedule into one fleet timeline.
+
+    Each workload is scheduled independently (its own seed, its own
+    timeline), then the per-client streams merge sorted by
+    ``(at_ms, client_index, position)`` — deterministic, and order-preserving
+    within every client because a single client's schedule is already
+    non-decreasing.
+    """
+    if start_at_ms < 0:
+        raise ValueError("start_at_ms must be non-negative")
+    arrivals: list[FleetArrival] = []
+    for client_index, workload in enumerate(workloads):
+        schedule = arrival_schedule(
+            workload, mean_gap_ms=mean_gap_ms, jitter=jitter, ms_per_tick=ms_per_tick
+        )
+        arrivals.extend(
+            FleetArrival(
+                at_ms=round(start_at_ms + at, 6),
+                client_index=client_index,
+                position=position,
+                event=event,
+            )
+            for position, (at, event) in enumerate(schedule)
+        )
+    arrivals.sort(key=lambda arrival: (arrival.at_ms, arrival.client_index, arrival.position))
+    return arrivals
+
+
+@dataclass
+class FleetClientStats:
+    """One fleet client: protocol counters plus its request latencies."""
+
+    run: WorkloadRunStats
+    request_latency_ms: list[float] = field(default_factory=list)
+    executed: int = 0
+    shed: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            **self.run.as_dict(),
+            "executed": self.executed,
+            "shed": self.shed,
+            "request_latency_ms": latency_summary(self.request_latency_ms),
+        }
+
+
+@dataclass
+class FleetRunStats:
+    """Fleet-aggregate counters plus the per-client breakdown."""
+
+    workload: str = ""
+    n_clients: int = 0
+    in_flight_budget: int = 0
+    policy: str = FleetPolicy.QUEUE.value
+    events_total: int = 0
+    executed: int = 0
+    shed: int = 0
+    in_flight_peak: int = 0
+    backlog_peak: int = 0
+    horizon_ms: float = 0.0
+    #: Virtual time at which the final arrival finished (or was shed) —
+    #: under backlog this lies past the nominal horizon, and it is the
+    #: denominator of the reported throughput.
+    completed_at_ms: float = 0.0
+    request_latency_ms: list[float] = field(default_factory=list)
+    deletion_latency_ms: list[float] = field(default_factory=list)
+    clients: list[FleetClientStats] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic plain-dict view for scenario results and benchmarks."""
+        elapsed = self.completed_at_ms
+        throughput = (self.executed / elapsed * 1000.0) if elapsed > 0 else 0.0
+        return {
+            "workload": self.workload,
+            "engine": "fleet",
+            "mode": "closed-loop" if self.in_flight_budget == 0 else "open-loop",
+            "n_clients": self.n_clients,
+            "in_flight_budget": self.in_flight_budget,
+            "policy": self.policy,
+            "events_total": self.events_total,
+            "executed": self.executed,
+            "shed": self.shed,
+            "in_flight_peak": self.in_flight_peak,
+            "backlog_peak": self.backlog_peak,
+            "horizon_ms": round(self.horizon_ms, 6),
+            "completed_at_ms": round(self.completed_at_ms, 6),
+            "throughput_per_s": round(throughput, 6),
+            "request_latency_ms": latency_summary(self.request_latency_ms),
+            "deletion_latency_ms": latency_summary(self.deletion_latency_ms),
+            "clients": {
+                f"client-{index}": client.as_dict()
+                for index, client in enumerate(self.clients)
+            },
+        }
+
+
+class FleetDriver:
+    """Drives N independent seeded clients against a shared deployment.
+
+    Parameters
+    ----------
+    workloads:
+        One :class:`~repro.workloads.base.Workload` per fleet client —
+        typically built with :func:`derive_client_seed` sub-seeds.
+    clients:
+        One :class:`~repro.service.client.LedgerClient` per fleet client
+        (parallel to ``workloads``); every event of client ``i`` executes
+        against ``clients[i]``.
+    mean_gap_ms / jitter / ms_per_tick:
+        Per-client arrival-rate knobs, forwarded to
+        :func:`~repro.workloads.base.arrival_schedule`.  The fleet's offered
+        load scales with ``n_clients / mean_gap_ms``.
+    kernel / bus / start_at_ms / one_block_per_entry / expiry_ms_per_tick:
+        As on :class:`~repro.workloads.driver.ScenarioWorkloadDriver`.
+    in_flight_budget:
+        Maximum number of requests admitted to service (issued, not yet
+        completed) at any instant — shared across the whole fleet.  ``0``
+        selects the closed-loop spec mode (see module docstring).
+    policy:
+        The :class:`FleetPolicy` applied when the budget is exhausted.
+    on_submitted:
+        Optional :data:`FleetSubmitHook`; ``on_finished`` is a plain
+        attribute called once after the final arrival completed or was shed.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        clients: Sequence[LedgerClient],
+        *,
+        mean_gap_ms: float,
+        jitter: float = 0.5,
+        ms_per_tick: float = 1.0,
+        kernel: Optional["EventKernel"] = None,
+        bus: Optional[EventBus] = None,
+        start_at_ms: float = 0.0,
+        one_block_per_entry: bool = True,
+        expiry_ms_per_tick: Optional[float] = None,
+        in_flight_budget: int = 8,
+        policy: FleetPolicy | str = FleetPolicy.QUEUE,
+        on_submitted: Optional[FleetSubmitHook] = None,
+    ) -> None:
+        if not workloads:
+            raise ValueError("a fleet needs at least one client workload")
+        if len(workloads) != len(clients):
+            raise ValueError(
+                f"{len(workloads)} workloads need {len(workloads)} ledger clients, "
+                f"got {len(clients)}"
+            )
+        if in_flight_budget < 0:
+            raise ValueError("in_flight_budget must be non-negative")
+        if expiry_ms_per_tick is not None and expiry_ms_per_tick <= 0:
+            raise ValueError("expiry_ms_per_tick must be positive when set")
+        self.workloads = list(workloads)
+        #: The lead workload — names the fleet in ``report["workloads"]``.
+        self.workload = self.workloads[0]
+        self.clients = list(clients)
+        #: The query surface scenario bodies read through (lookups after
+        #: traffic) — fleet client 0's ledger client.
+        self.client = self.clients[0]
+        self.kernel = kernel
+        self.start_at_ms = float(start_at_ms)
+        self.one_block_per_entry = one_block_per_entry
+        self.expiry_ms_per_tick = expiry_ms_per_tick
+        self.in_flight_budget = int(in_flight_budget)
+        self.policy = FleetPolicy(policy)
+        self.on_submitted = on_submitted
+        #: Called once after the final arrival has completed or been shed.
+        self.on_finished: Optional[Callable[[], None]] = None
+        self.timeline: list[FleetArrival] = fleet_timeline(
+            self.workloads,
+            mean_gap_ms=mean_gap_ms,
+            jitter=jitter,
+            ms_per_tick=ms_per_tick,
+            start_at_ms=self.start_at_ms,
+        )
+        self.stats = FleetRunStats(
+            workload=self.workload.name,
+            n_clients=len(self.workloads),
+            in_flight_budget=self.in_flight_budget,
+            policy=self.policy.value,
+            events_total=len(self.timeline),
+            horizon_ms=self.timeline[-1].at_ms if self.timeline else 0.0,
+            clients=[
+                FleetClientStats(run=WorkloadRunStats(workload=workload.name))
+                for workload in self.workloads
+            ],
+        )
+        for arrival in self.timeline:
+            client = self.stats.clients[arrival.client_index]
+            client.run.events_total += 1
+            client.run.horizon_ms = arrival.at_ms
+        self._scheduled = False
+        self._finished = False
+        self._processed = 0
+        self._in_flight = 0
+        self._pumping = False
+        self._service: deque[FleetArrival] = deque()
+        self._backlog: deque[FleetArrival] = deque()
+        #: reference key -> virtual request time, for latency pairing.
+        self._deletion_requested_at: dict[tuple[int, int], float] = {}
+        #: reference key -> fleet client that issued the request.
+        self._deletion_owner: dict[tuple[int, int], int] = {}
+        self._latency_subscription: Optional[Subscription] = None
+        self._bus = bus
+        if bus is not None and kernel is not None:
+            self._latency_subscription = bus.subscribe(
+                self._on_deletion_event,
+                types=(EventType.DELETION_REQUESTED, EventType.DELETION_EXECUTED),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Execution modes
+    # ------------------------------------------------------------------ #
+
+    def schedule(self) -> float:
+        """Book the fleet timeline on the kernel; returns the horizon.
+
+        Open loop (``in_flight_budget >= 1``): every arrival is booked at
+        its scheduled time up front — completions do not gate arrivals, and
+        the arrival callbacks are O(1) (admit / queue / shed) so a round
+        trip overrunning the next arrival cannot nest executions.
+
+        Closed loop (``in_flight_budget == 0``): the interleaved timeline is
+        chained exactly like
+        :meth:`~repro.workloads.driver.ScenarioWorkloadDriver.schedule` —
+        the executable-spec mode.
+        """
+        if self.kernel is None:
+            raise ValueError("schedule() requires a kernel; use run() without one")
+        if self._scheduled:
+            raise ValueError("the fleet timeline is already scheduled")
+        self._scheduled = True
+        if not self.timeline:
+            self._finish()
+            return self.stats.horizon_ms
+        if self.in_flight_budget == 0:
+            self._schedule_closed(0)
+        else:
+            for arrival in self.timeline:
+                self.kernel.schedule_at(
+                    max(arrival.at_ms, self.kernel.now),
+                    lambda arrival=arrival: self._on_arrival(arrival),
+                    label=(
+                        f"fleet:{self.workload.name}:c{arrival.client_index}"
+                        f":{arrival.event.kind.value}:{arrival.position}"
+                    ),
+                )
+        return self.stats.horizon_ms
+
+    def run(self) -> FleetRunStats:
+        """Execute the interleaved timeline immediately, in arrival order.
+
+        The kernel-less parity mode: the fleet performs exactly the protocol
+        operations a closed-loop replay performs, in timeline order — the
+        conformance suite pins a one-client fleet against
+        :func:`~repro.workloads.base.replay` and the single driver with it.
+        """
+        if self.kernel is not None:
+            raise ValueError("run() is the kernel-less mode; use schedule() with a kernel")
+        for arrival in self.timeline:
+            self._execute(arrival)
+            self._complete(arrival)
+        if not self.timeline:
+            self._finish()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Closed-loop spec mode (budget 0)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_closed(self, index: int) -> None:
+        if index >= len(self.timeline):
+            self._finish()
+            return
+        kernel = self.kernel
+        assert kernel is not None
+        arrival = self.timeline[index]
+
+        def fire() -> None:
+            try:
+                self._execute(arrival)
+            finally:
+                # Even a failing event must not cut the rest of the
+                # timeline short.
+                self._complete(arrival)
+                self._schedule_closed(index + 1)
+
+        kernel.schedule_at(
+            max(arrival.at_ms, kernel.now),
+            fire,
+            label=(
+                f"fleet:{self.workload.name}:c{arrival.client_index}"
+                f":{arrival.event.kind.value}:{arrival.position}"
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Open-loop admission control
+    # ------------------------------------------------------------------ #
+
+    def _on_arrival(self, arrival: FleetArrival) -> None:
+        if self._in_flight >= self.in_flight_budget:
+            if self.policy is FleetPolicy.SHED:
+                self._shed(arrival)
+            else:
+                self._backlog.append(arrival)
+                if len(self._backlog) > self.stats.backlog_peak:
+                    self.stats.backlog_peak = len(self._backlog)
+            return
+        self._admit(arrival)
+
+    def _admit(self, arrival: FleetArrival) -> None:
+        self._in_flight += 1
+        if self._in_flight > self.stats.in_flight_peak:
+            self.stats.in_flight_peak = self._in_flight
+        self._service.append(arrival)
+        if not self._pumping:
+            self._pump()
+
+    def _pump(self) -> None:
+        """Drain the service queue, one blocking round trip at a time.
+
+        Runs inside the kernel callback that admitted the first request.
+        Arrivals firing *during* a round trip (the transport's nested
+        virtual-time wait) only enqueue — the loop here picks them up — so
+        stack depth stays constant no matter how deep the backlog grows.
+        """
+        self._pumping = True
+        try:
+            while self._service:
+                arrival = self._service.popleft()
+                try:
+                    self._execute(arrival)
+                finally:
+                    self._in_flight -= 1
+                    self._complete(arrival)
+                    while self._backlog and self._in_flight < self.in_flight_budget:
+                        waiting = self._backlog.popleft()
+                        self._in_flight += 1
+                        if self._in_flight > self.stats.in_flight_peak:
+                            self.stats.in_flight_peak = self._in_flight
+                        self._service.append(waiting)
+        finally:
+            self._pumping = False
+
+    def _shed(self, arrival: FleetArrival) -> None:
+        client = self.stats.clients[arrival.client_index]
+        client.shed += 1
+        self.stats.shed += 1
+        self._processed += 1
+        self._note_completion_time()
+        if self._processed >= self.stats.events_total:
+            self._finish()
+
+    def _complete(self, arrival: FleetArrival) -> None:
+        client = self.stats.clients[arrival.client_index]
+        client.executed += 1
+        self.stats.executed += 1
+        self._processed += 1
+        if self.kernel is not None:
+            latency = round(self.kernel.now - arrival.at_ms, 6)
+            client.request_latency_ms.append(latency)
+            self.stats.request_latency_ms.append(latency)
+        self._note_completion_time()
+        if self._processed >= self.stats.events_total:
+            self._finish()
+
+    def _note_completion_time(self) -> None:
+        if self.kernel is not None:
+            self.stats.completed_at_ms = self.kernel.now
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self.on_finished is not None:
+            self.on_finished()
+
+    # ------------------------------------------------------------------ #
+    # Event execution (mirrors ScenarioWorkloadDriver._execute per client)
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, arrival: FleetArrival) -> None:
+        event = arrival.event
+        stats = self.stats.clients[arrival.client_index].run
+        client = self.clients[arrival.client_index]
+        if event.kind is EventKind.ENTRY:
+            receipt = client.submit(
+                event.data,
+                event.author,
+                expires_at_time=self._rescale_expiry(event.expires_at_time),
+                expires_at_block=event.expires_at_block,
+                seal=self.one_block_per_entry,
+            )
+            stats.entries_submitted += 1
+            if not receipt.ok:
+                stats.entries_rejected += 1
+            elif receipt.sealed:
+                stats.blocks_sealed += 1
+            if self.on_submitted is not None:
+                self.on_submitted(arrival.client_index, arrival.position, event, receipt)
+        elif event.kind is EventKind.DELETION:
+            assert event.target is not None
+            self.request_deletion(
+                event.target, event.author, client_index=arrival.client_index
+            )
+        else:
+            stats.idle_events += 1
+            try:
+                idle_block = client.tick(event.idle_ticks)
+            except LedgerError:
+                # As in the single driver: one lost tick round trip on a
+                # lossy transport must not abort the timeline.
+                stats.idle_rejected += 1
+                return
+            if idle_block:
+                stats.idle_blocks += 1
+                stats.blocks_sealed += 1
+
+    def request_deletion(
+        self,
+        target: TargetLike,
+        author: str,
+        *,
+        reason: str = "",
+        client_index: int = 0,
+    ) -> DeletionReceipt:
+        """Submit a deletion request through fleet client ``client_index``.
+
+        Scenario hooks route application-level erasures through here so the
+        issuing client's counters and the latency tracker see them exactly
+        like stream-borne DELETION events.
+        """
+        stats = self.stats.clients[client_index].run
+        reference = as_reference(target)
+        self._deletion_owner.setdefault(
+            (reference.block_number, reference.entry_number), client_index
+        )
+        receipt = self.clients[client_index].request_deletion(
+            reference, author, reason=reason
+        )
+        stats.deletions_requested += 1
+        if receipt.ok:
+            stats.blocks_sealed += 1
+            if receipt.approved:
+                stats.deletions_approved += 1
+        if self._latency_subscription is None:
+            stats.deletions_pending = stats.deletions_approved - stats.deletions_executed
+        return receipt
+
+    def _rescale_expiry(self, expires_at_time: Optional[int]) -> Optional[int]:
+        if expires_at_time is None or self.expiry_ms_per_tick is None:
+            return expires_at_time
+        return int(round(self.start_at_ms + expires_at_time * self.expiry_ms_per_tick))
+
+    # ------------------------------------------------------------------ #
+    # Virtual-time deletion latency
+    # ------------------------------------------------------------------ #
+
+    def _on_deletion_event(self, event: ChainEvent) -> None:
+        assert self.kernel is not None
+        reference = event.payload.get("reference") or {}
+        key = (reference.get("block_number"), reference.get("entry_number"))
+        if None in key:
+            return
+        owner = self._deletion_owner.get(key, 0)
+        stats = self.stats.clients[owner].run
+        if event.kind == EventType.DELETION_REQUESTED.value:
+            if event.payload.get("approved") and key not in self._deletion_requested_at:
+                # The first approved request for a target starts the clock.
+                self._deletion_requested_at[key] = self.kernel.now
+                stats.deletions_pending += 1
+        elif event.kind == EventType.DELETION_EXECUTED.value:
+            requested_at = self._deletion_requested_at.pop(key, None)
+            if requested_at is not None:
+                latency = round(self.kernel.now - requested_at, 6)
+                stats.deletions_executed += 1
+                stats.deletions_pending -= 1
+                stats.deletion_latency_ms.append(latency)
+                self.stats.deletion_latency_ms.append(latency)
+
+    def close(self) -> None:
+        """Detach the latency subscription (idempotent)."""
+        if self._latency_subscription is not None and self._bus is not None:
+            self._bus.unsubscribe(self._latency_subscription)
+            self._latency_subscription = None

@@ -1,0 +1,73 @@
+"""Latency aggregation shared by the workload drivers.
+
+The paper's evaluation reports deletion latency as a single mean — which is
+exactly the statistic that hides a long tail.  A mean can look healthy while
+one request in a hundred waits an order of magnitude longer; percentile
+reporting is what makes a saturation claim honest, so this module is the one
+place latency samples are folded into report dictionaries:
+:func:`percentile` implements the estimator and :func:`latency_summary`
+produces the ``{count, mean, min, max, p50, p95, p99}`` block every driver
+embeds under ``report["workloads"]``.
+
+Determinism: the estimator is a pure function of the sample multiset (the
+samples are sorted internally), results are rounded to six decimals like
+every other reported number, and no randomness is involved — so reports stay
+byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+#: The percentile levels every latency block reports, in report-key order.
+PERCENTILE_LEVELS: tuple[tuple[str, float], ...] = (
+    ("p50", 50.0),
+    ("p95", 95.0),
+    ("p99", 99.0),
+)
+
+
+def percentile(values: Sequence[float], level: float) -> float:
+    """The ``level``-th percentile of ``values`` by linear interpolation.
+
+    Uses the standard inclusive definition (the one a sorted-list oracle
+    computes by hand): for ``n`` samples the rank of level ``q`` is
+    ``(q / 100) * (n - 1)``; a fractional rank interpolates linearly between
+    the two neighbouring order statistics.  ``p0`` is the minimum, ``p100``
+    the maximum, a single sample is every percentile of itself, and an empty
+    sample set reports ``0.0`` (matching the empty mean/min/max convention of
+    the run statistics).
+    """
+    if not 0.0 <= level <= 100.0:
+        raise ValueError(f"percentile level must lie in [0, 100], got {level}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (level / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
+
+
+def latency_summary(values: Iterable[float]) -> dict[str, Any]:
+    """The deterministic latency block of the workload reports.
+
+    Keys: ``count``, ``mean``, ``min``, ``max`` (the paper's original
+    statistics) plus ``p50`` / ``p95`` / ``p99`` — the fleet percentiles a
+    mean-only report cannot express.  All numbers are rounded to six
+    decimals; an empty sample set reports zeros throughout.
+    """
+    samples = list(values)
+    summary: dict[str, Any] = {
+        "count": len(samples),
+        "mean": round(sum(samples) / len(samples), 6) if samples else 0.0,
+        "min": round(min(samples), 6) if samples else 0.0,
+        "max": round(max(samples), 6) if samples else 0.0,
+    }
+    for key, level in PERCENTILE_LEVELS:
+        summary[key] = round(percentile(samples, level), 6)
+    return summary

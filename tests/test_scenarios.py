@@ -31,6 +31,24 @@ class TestDeterminismPin:
         second = run_scenario(name, seed=seed, smoke=True)
         assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
 
+    @pytest.mark.parametrize("seed", [13, 29])
+    @pytest.mark.parametrize(
+        "name,overrides",
+        [
+            ("gdpr-erasure", {"n_clients": 3}),
+            ("fleet-saturation", {"n_clients": 12}),
+        ],
+        ids=["gdpr-erasure-fleet", "fleet-saturation-wide"],
+    )
+    def test_fleet_runs_are_byte_identical_per_seed(self, name, seed, overrides):
+        """The open-loop engine joins the determinism pin: a workload
+        scenario with ``n_clients > 1`` and a widened ``fleet-saturation``
+        replay byte-identically (the default-size runs are already covered
+        by the matrix above)."""
+        first = run_scenario(name, seed=seed, smoke=True, **overrides)
+        second = run_scenario(name, seed=seed, smoke=True, **overrides)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
     def test_different_seeds_differ_somewhere(self):
         # Not a guarantee for every scenario, but the latency-driven ones
         # must move: delivery times shape the transport statistics.
@@ -115,6 +133,40 @@ class TestCatalogueDocsSync:
     def test_no_stale_scenarios_are_documented(self, documented_rows):
         stale = set(documented_rows) - set(scenario_names())
         assert not stale, f"docs table rows for unregistered scenarios: {sorted(stale)}"
+
+    def test_latency_summary_keys_match_the_traffic_engine_docs(self):
+        """The percentile keys every ``report["workloads"]`` latency block
+        carries are pinned against the handbook's "### Traffic engine"
+        subsection: what the reports emit is exactly what the docs name."""
+        from pathlib import Path
+
+        handbook = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
+        section_lines = []
+        in_section = False
+        for line in handbook.read_text(encoding="utf-8").splitlines():
+            if line.startswith("#"):
+                in_section = line.strip() == "### Traffic engine"
+                continue
+            if in_section:
+                section_lines.append(line)
+        section = "\n".join(section_lines)
+        assert section, "the '### Traffic engine' subsection was not found"
+
+        expected_keys = ("count", "mean", "min", "max", "p50", "p95", "p99")
+        result = run_scenario("fleet-saturation", seed=7, smoke=True)
+        fleet = result["report"]["workloads"]["login-audit"]
+        for block in (
+            fleet["request_latency_ms"],
+            fleet["deletion_latency_ms"],
+            fleet["clients"]["client-0"]["request_latency_ms"],
+            fleet["clients"]["client-0"]["deletion_latency_ms"],
+        ):
+            assert tuple(block) == expected_keys
+        for key in expected_keys:
+            assert f"`{key}`" in section, (
+                f"latency-summary key {key!r} is not documented in the "
+                "'### Traffic engine' subsection"
+            )
 
 
 class TestScheduledFaults:
@@ -264,6 +316,36 @@ class TestScenarioOutcomes:
         assert result["recovered_outputs"] == result["reclaimable_outputs"]
         workload = result["report"]["workloads"]["coin-transfers"]
         assert workload["deletions_approved"] == result["recovered_outputs"]
+        assert result["replicas_identical"] is True
+
+    def test_fleet_saturation_reports_open_loop_percentiles_and_converges(self):
+        result = run_scenario("fleet-saturation", seed=7, smoke=True)
+        fleet = result["report"]["workloads"]["login-audit"]
+        assert fleet["engine"] == "fleet"
+        assert fleet["mode"] == "open-loop"
+        assert fleet["n_clients"] == 8  # the smoke fleet size
+        assert len(fleet["clients"]) == 8
+        assert fleet["executed"] + fleet["shed"] == fleet["events_total"]
+        assert fleet["request_latency_ms"]["count"] == fleet["executed"]
+        assert fleet["request_latency_ms"]["p99"] >= fleet["request_latency_ms"]["p50"] > 0
+        assert 1 <= fleet["in_flight_peak"] <= fleet["in_flight_budget"]
+        assert result["throughput_per_s"] > 0
+        assert result["replicas_identical"] is True
+
+    def test_workload_scenarios_measure_deletion_latency_under_fleets(self):
+        """`n_clients > 1` switches a workload scenario to the open-loop
+        engine and still measures real deletion latency (receipt-backed
+        references survive the fleet interleave)."""
+        result = run_scenario("gdpr-erasure", seed=7, smoke=True, n_clients=3)
+        fleet = result["report"]["workloads"]["gdpr-erasure"]
+        assert fleet["engine"] == "fleet"
+        assert fleet["n_clients"] == 3
+        assert fleet["deletion_latency_ms"]["count"] > 0
+        assert fleet["deletion_latency_ms"]["p99"] > 0
+        per_client_executed = sum(
+            client["deletions_executed"] for client in fleet["clients"].values()
+        )
+        assert fleet["deletion_latency_ms"]["count"] == per_client_executed
         assert result["replicas_identical"] is True
 
     def test_geo_latency_profiles_pay_for_distance(self):

@@ -23,6 +23,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Blockchain, ChainConfig
+from repro.network.kernel import EventKernel
 from repro.network.simulator import NetworkSimulator
 from repro.service.client import LocalLedgerClient
 from repro.workloads import (
@@ -36,6 +37,8 @@ from repro.workloads import (
     VehicleLifecycleWorkload,
     Workload,
     arrival_schedule,
+    derive_client_seed,
+    fleet_timeline,
     replay,
 )
 
@@ -135,6 +138,115 @@ class TestWorkloadContract:
         assert driven.blocks_sealed == replayed.blocks_sealed
         # Both anchor replicas converged on the same head.
         assert simulator.replicas_identical()
+
+
+@pytest.mark.parametrize("cls,factory", FACTORIES, ids=FACTORY_IDS)
+class TestFleetContract:
+    """The fleet conformance contract every generator joins for free.
+
+    The open-loop engine treats workloads interchangeably too: per
+    ``(seed, n_clients)`` the interleaved fleet timeline must be identical
+    run after run, every client's own schedule must stay monotone inside
+    the interleave, and a one-client zero-budget fleet must reproduce the
+    closed-loop :class:`ScenarioWorkloadDriver` run byte-identically — the
+    executable-spec pin of the fleet engine.
+    """
+
+    def _fleet(self, factory, seed, n_clients):
+        return [
+            factory(derive_client_seed(seed, client_index))
+            for client_index in range(n_clients)
+        ]
+
+    def test_fleet_timeline_is_identical_per_seed_and_size(self, cls, factory):
+        first = fleet_timeline(self._fleet(factory, 11, 3), mean_gap_ms=20.0)
+        second = fleet_timeline(self._fleet(factory, 11, 3), mean_gap_ms=20.0)
+        assert first == second
+        assert first, f"{cls.__name__} produced an empty fleet timeline"
+
+    def test_per_client_schedules_stay_monotone_inside_the_interleave(self, cls, factory):
+        timeline = fleet_timeline(self._fleet(factory, 11, 4), mean_gap_ms=20.0)
+        # Globally sorted by arrival time...
+        times = [arrival.at_ms for arrival in timeline]
+        assert times == sorted(times)
+        # ...and within every client, arrival order == timeline order.
+        last_position: dict[int, int] = {}
+        last_time: dict[int, float] = {}
+        for arrival in timeline:
+            if arrival.client_index in last_position:
+                assert arrival.position == last_position[arrival.client_index] + 1
+                assert arrival.at_ms >= last_time[arrival.client_index]
+            else:
+                assert arrival.position == 0
+            last_position[arrival.client_index] = arrival.position
+            last_time[arrival.client_index] = arrival.at_ms
+
+    def test_client_zero_keeps_the_fleet_seed(self, cls, factory):
+        """``derive_client_seed(seed, 0) == seed``: a one-client fleet runs
+        the exact single-driver workload, which is what makes the
+        executable-spec pin below meaningful."""
+        assert derive_client_seed(11, 0) == 11
+        solo = fleet_timeline(self._fleet(factory, 11, 1), mean_gap_ms=20.0)
+        single = arrival_schedule(factory(11), mean_gap_ms=20.0)
+        assert [(arrival.at_ms, arrival.event) for arrival in solo] == [
+            (round(at, 6), event) for at, event in single
+        ]
+
+    def test_one_client_zero_budget_fleet_reproduces_the_closed_loop_run(self, cls, factory):
+        """The executable-spec pin: budget 0 *is* the closed loop.
+
+        Two identically-seeded kernel deployments, one driven by the
+        closed-loop driver and one by a one-client zero-budget fleet, must
+        end in the same state: identical chain statistics and identical
+        kernel statistics (same events booked in the same order, so even
+        the seeded tie-break stream was consumed identically).
+        """
+
+        def deployment(seed):
+            return NetworkSimulator(
+                anchor_count=2,
+                config=ChainConfig.paper_evaluation(),
+                kernel=EventKernel(seed=seed),
+            )
+
+        closed = deployment(23)
+        closed_driver = closed.drive_workload(factory(9), mean_gap_ms=10.0)
+        closed_driver.schedule()
+        assert closed.kernel is not None
+        closed.kernel.run()
+        closed_chain = closed.producer.chain.statistics()
+        closed_report = closed.finalize()
+
+        fleet = deployment(23)
+        fleet_driver = fleet.drive_fleet(
+            self._fleet(factory, 9, 1), mean_gap_ms=10.0, in_flight_budget=0
+        )
+        fleet_driver.schedule()
+        assert fleet.kernel is not None
+        fleet.kernel.run()
+        fleet_chain = fleet.producer.chain.statistics()
+        fleet_report = fleet.finalize()
+
+        assert closed_chain == fleet_chain
+        assert closed_report.kernel == fleet_report.kernel
+        # The sole client's protocol counters agree with the closed driver.
+        closed_stats = closed_report.workloads[closed_driver.workload.name]
+        client_stats = fleet_report.workloads[fleet_driver.workload.name]["clients"][
+            "client-0"
+        ]
+        for counter in (
+            "events_total",
+            "entries_submitted",
+            "entries_rejected",
+            "deletions_requested",
+            "deletions_approved",
+            "deletions_executed",
+            "idle_events",
+            "idle_blocks",
+            "blocks_sealed",
+            "deletion_latency_ms",
+        ):
+            assert closed_stats[counter] == client_stats[counter], counter
 
 
 def test_driver_survives_lost_tick_responses_on_a_lossy_transport():
