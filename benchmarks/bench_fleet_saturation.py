@@ -37,7 +37,7 @@ from repro.core import ChainConfig
 from repro.network.kernel import EventKernel
 from repro.network.scenarios import run_scenario
 from repro.network.simulator import NetworkSimulator
-from repro.workloads import LoginAuditWorkload, ScenarioWorkloadDriver
+from repro.workloads import LoginAuditWorkload, ScenarioWorkloadDriver, has_samples
 
 DEFAULT_FLEET_SIZES = (10, 30, 100, 300, 1000, 3000, 10000)
 #: Full-size runs refresh the committed trajectory; overridden sizes (CI
@@ -84,6 +84,9 @@ def measure(n_clients: int) -> dict[str, float]:
     )
     fleet = result["report"]["workloads"]["login-audit"]
     latency = fleet["request_latency_ms"]
+    # The empty-window shape check: a fleet that executed requests must
+    # report samples, and one that executed none must not fake percentiles.
+    assert has_samples(latency) == (fleet["executed"] > 0)
     return {
         "n_clients": float(n_clients),
         "events_total": float(fleet["events_total"]),
@@ -91,6 +94,7 @@ def measure(n_clients: int) -> dict[str, float]:
         "shed": float(fleet["shed"]),
         "offered_load_per_s": result["offered_load_per_s"],
         "throughput_per_s": fleet["throughput_per_s"],
+        "request_count": float(latency["count"]),
         "request_p50_ms": latency["p50"],
         "request_p95_ms": latency["p95"],
         "request_p99_ms": latency["p99"],
@@ -110,6 +114,12 @@ def detect_knee(rows: list[dict[str, float]]) -> dict[str, Any]:
     that baseline.  Returns the knee row's N, the last below-knee N, and the
     inflation factors — or ``detected: False`` when the sweep never
     saturates (smoke runs with tiny fleets).
+
+    Empty windows gate on the sample count first: a row whose fleet
+    completed zero requests reports percentiles of 0.0
+    (:func:`repro.workloads.stats.latency_summary`'s empty shape), which
+    must read as "no measurement", never as an infinitely fast baseline or
+    an always-unsaturated point.
     """
     baseline_p50 = rows[0]["request_p50_ms"]
     knee: dict[str, Any] = {
@@ -120,10 +130,12 @@ def detect_knee(rows: list[dict[str, float]]) -> dict[str, Any]:
         "last_unsaturated_clients": None,
         "p50_inflation_at_knee": None,
     }
-    if baseline_p50 <= 0.0:
+    if rows[0].get("request_count", 0.0) <= 0.0 or baseline_p50 <= 0.0:
         return knee
     previous: Optional[dict[str, float]] = None
     for row in rows:
+        if row.get("request_count", 0.0) <= 0.0:
+            continue  # empty window: no measurement, not zero latency
         inflation = row["request_p50_ms"] / baseline_p50
         if inflation > KNEE_P50_INFLATION:
             knee["detected"] = True

@@ -176,6 +176,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "clients", None) is not None:
         overrides["n_clients"] = args.clients
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
     names = scenario_names() if args.scenario == "all" else [args.scenario]
     try:
         # Validate overrides against *every* selected scenario up front, so
@@ -386,6 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="shorthand for --param n_clients=N (fleet size on workload scenarios)",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shorthand for --param shards=K (deployment count on sharded-fleet)",
     )
     simulate.add_argument(
         "--check-determinism",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.core.block import Block
@@ -39,6 +39,7 @@ from repro.sync.bootstrap import (
     BootstrapReport,
     SnapshotChunkCache,
     fetch_snapshot,
+    fetch_snapshot_striped,
 )
 from repro.storage.snapshot import chain_from_payload
 
@@ -185,10 +186,12 @@ class AnchorNode:
             "digests_diverged": 0,
             "catch_ups": 0,
             "blocks_replayed": 0,
+            "digests_pushed_back": 0,
             "bootstraps": 0,
             "bootstrap_bytes": 0,
             "bootstrap_retransmits": 0,
             "chunks_served": 0,
+            "snapshot_probes_served": 0,
             "rejected_blocks_evicted": 0,
             "announcements_evicted": 0,
         }
@@ -477,6 +480,24 @@ class AnchorNode:
         """
         chunk_size = int(message.payload.get("chunk_size", DEFAULT_CHUNK_SIZE))
         index = int(message.payload.get("chunk", 0))
+        if message.payload.get("probe"):
+            # Probe mode: advertise the snapshot's manifest and this node's
+            # serving load without shipping data, so a stale replica can
+            # rank candidate peers (nearest and least loaded first) before
+            # committing to a multi-chunk transfer.
+            try:
+                manifest = self._snapshot_cache.manifest(chunk_size)
+            except BootstrapError as exc:
+                return message.error(self.node_id, str(exc))
+            self.sync_stats["snapshot_probes_served"] += 1
+            return message.reply(
+                MessageKind.SNAPSHOT_CHUNK,
+                self.node_id,
+                {
+                    "manifest": manifest.to_dict(),
+                    "load": self.sync_stats["chunks_served"],
+                },
+            )
         try:
             manifest = self._snapshot_cache.manifest(chunk_size)
             data = self._snapshot_cache.chunk(index, chunk_size)
@@ -490,16 +511,36 @@ class AnchorNode:
         )
 
     def _handle_sync_digest(self, message: Message) -> None:
-        """One-way anti-entropy beacon: pull from the sender when behind.
+        """Anti-entropy beacon: pull from the sender when behind, push the
+        local digest back when ahead.
 
         The pull itself (catch-up, possibly a full snapshot bootstrap) runs
         inside this delivery event, consuming virtual time on a scheduled
         transport; digests arriving while it runs are absorbed by the
-        re-entrancy guard.
+        re-entrancy guard.  The push-back turns the one-way digest gossip
+        into *push-pull*: a stale replica whose own digest happens to reach
+        an up-to-date peer learns of the newer head in the same round
+        instead of waiting for that peer's fan-out to select it — halving
+        convergence rounds on sparse overlays.  Push-backs fire only when
+        strictly ahead, so two converged replicas never ping-pong.
         """
         self.sync_stats["digests_received"] += 1
         peer_head = int(message.payload.get("head", -1))
         if peer_head < self.chain.head.block_number:
+            self.sync_stats["digests_pushed_back"] += 1
+            self.transport.post(
+                message.sender,
+                Message(
+                    kind=MessageKind.SYNC_DIGEST,
+                    sender=self.node_id,
+                    payload={
+                        "head": self.chain.head.block_number,
+                        "head_hash": self.chain.head.block_hash,
+                        "genesis_marker": self.chain.genesis_marker,
+                        "pushback": True,
+                    },
+                ),
+            )
             return None
         if peer_head == self.chain.head.block_number:
             peer_hash = str(message.payload.get("head_hash", ""))
@@ -693,6 +734,38 @@ class AnchorNode:
             chunk_size=chunk_size,
             max_retries=max_retries,
         )
+        return self._adopt_snapshot_report(report)
+
+    def bootstrap_from_best(
+        self,
+        peer_ids: Optional[list[str]] = None,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> BootstrapReport:
+        """Adopt a snapshot from the best-ranked reachable peers.
+
+        Candidates (default: every connected peer) are probed for proximity
+        and serving load, and the chunks are striped concurrently across all
+        donors serving the winning head
+        (:func:`repro.sync.bootstrap.fetch_snapshot_striped`) — the
+        load-aware flavour of :meth:`bootstrap_from` that the digest-
+        triggered pull path uses, so a recovering replica neither hammers
+        one donor nor pays a far peer's latency when a near one serves the
+        same head.
+        """
+        candidates = list(peer_ids) if peer_ids is not None else list(self.peers)
+        report = fetch_snapshot_striped(
+            self.transport,
+            self.node_id,
+            candidates,
+            chunk_size=chunk_size,
+            max_retries=max_retries,
+        )
+        return self._adopt_snapshot_report(report)
+
+    def _adopt_snapshot_report(self, report: BootstrapReport) -> BootstrapReport:
+        """Verify a fetched snapshot and adopt it; shared by both fetchers."""
         if not report.succeeded:
             return report
         assert report.payload is not None and report.manifest is not None
@@ -765,15 +838,19 @@ class AnchorNode:
             result = self.catch_up(peer_id)
             if result.status is not CatchUpStatus.SNAPSHOT_REQUIRED:
                 return result
-            report = self.bootstrap_from(
-                peer_id, chunk_size=chunk_size, max_retries=max_retries
+            # Load-aware recovery: the digest sender proved it serves the
+            # needed head, but every connected peer is a candidate donor —
+            # rank them and stripe the chunks across the nearest ones.
+            candidates = [peer_id] + [peer for peer in self.peers if peer != peer_id]
+            report = self.bootstrap_from_best(
+                candidates, chunk_size=chunk_size, max_retries=max_retries
             )
             if not report.succeeded:
                 return CatchUpResult(
                     status=CatchUpStatus.SNAPSHOT_REQUIRED,
                     detail=f"bootstrap failed: {report.reason}",
                 )
-            top_off = self.catch_up(peer_id)
+            top_off = self.catch_up(report.peer_id or peer_id)
             assert report.manifest is not None
             return CatchUpResult(
                 status=CatchUpStatus.BOOTSTRAPPED,
@@ -894,6 +971,50 @@ class ClientNode:
             payload=payload,
         )
         return self._send(anchor_id, message)
+
+    def submit_entry_async(
+        self,
+        anchor_id: str,
+        data: dict[str, Any],
+        *,
+        on_response: Callable[[Message], None],
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        defer_seal: bool = False,
+    ) -> None:
+        """:meth:`submit_entry` without the virtual-time wait.
+
+        The signed entry goes out immediately and ``on_response`` fires when
+        the anchor's response arrives (or with an error message on a silent
+        transport), so many submissions — this client's or others' — overlap
+        on the kernel.  Requires a kernel-backed transport.
+        """
+        entry = self._sign_entry(
+            Entry(
+                data=data,
+                author=self.client_id,
+                signature="",
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+            )
+        )
+        payload: dict[str, Any] = {"entry": entry.to_dict()}
+        if defer_seal:
+            payload["defer_seal"] = True
+        message = Message(
+            kind=MessageKind.SUBMIT_ENTRY,
+            sender=self.client_id,
+            payload=payload,
+        )
+        self.transport.send_async(
+            anchor_id,
+            message,
+            on_response=lambda response: on_response(
+                response
+                if response is not None
+                else message.error(self.client_id, "no response from anchor node")
+            ),
+        )
 
     def request_deletion(
         self,

@@ -69,6 +69,11 @@ is raised above 1):
 * ``fleet-saturation``      — an open-loop client fleet drives one
   deployment past its service rate; the report's p50/p95/p99 request
   percentiles and shed counters say how it degraded.
+* ``sharded-fleet``         — the same fleet against K author-sharded
+  deployments on one virtual clock behind a
+  :class:`~repro.service.sharding.ShardRouter`; per-shard lanes overlap
+  round trips so the aggregate service rate scales with K, and post-traffic
+  GDPR erasures fan out to exactly the shards holding each author.
 """
 
 from __future__ import annotations
@@ -99,8 +104,10 @@ from repro.network.kernel import EventKernel
 from repro.network.message import MessageKind, reset_message_counter
 from repro.network.simulator import NetworkSimulator
 from repro.network.transport import GeoLatencyModel, LatencyModel
+from repro.service.sharding import ShardRouter
 from repro.workloads.coins import CoinTransferWorkload
 from repro.workloads.fleet import derive_client_seed
+from repro.workloads.stats import has_samples
 from repro.workloads.gdpr import GdprErasureWorkload
 from repro.workloads.logging import LoginAuditWorkload
 from repro.workloads.supply_chain import SupplyChainWorkload
@@ -1832,4 +1839,205 @@ def _fleet_saturation(seed: int, params: dict[str, Any]) -> dict[str, Any]:
         "traffic_completed_at_ms": round(completion["at_ms"], 6),
         "heads": simulator.all_heads(),
         "replicas_identical": simulator.replicas_identical(),
+    }
+
+
+class _TenantLoginWorkload(LoginAuditWorkload):
+    """Per-client tenant namespacing for author-sharded fleets.
+
+    ``fleet-saturation``'s clients all draw from the same three paper users,
+    which under author sharding would pin the whole fleet to at most three
+    shards.  Prefixing each client's users with its tenant id makes the
+    author population scale with the fleet, so SHA-256 placement spreads the
+    load across every shard.  Only the name strings change — arrival times,
+    event kinds and message counts are identical, so the fleet's latency and
+    throughput numbers stay comparable with ``fleet-saturation``.
+    """
+
+    def __init__(self, *, tenant: int, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.tenant = tenant
+
+    def user(self, index: int) -> str:
+        return f"T{self.tenant:03d}:{super().user(index)}"
+
+
+@scenario(
+    "sharded-fleet",
+    "the fleet against K author-sharded deployments on one clock; erasures fan out cross-shard",
+    defaults={
+        "shards": 2,
+        "anchors": 3,
+        "n_clients": 20,
+        "events_per_client": 6,
+        "users_per_client": 3,
+        "mean_gap_ms": 400.0,
+        "in_flight_budget": 8,
+        "overload_policy": "queue",
+        "settle_ms": 400.0,
+        "idle_heartbeat_ms": 60.0,
+        "empty_block_interval_ticks": 150,
+        "fanout": 2,
+        "erase_authors": 2,
+    },
+    smoke={"n_clients": 8, "events_per_client": 4, "settle_ms": 300.0},
+)
+def _sharded_fleet(seed: int, params: dict[str, Any]) -> dict[str, Any]:
+    """The ``fleet-saturation`` fleet against K sharded deployments.
+
+    K independent anchor deployments share one :class:`EventKernel` — each
+    with its own transport, latency model and gossip overlay, joined only by
+    virtual time — behind a single
+    :class:`~repro.service.sharding.ShardRouter` that hashes authors onto
+    shards.  The fleet's per-shard service lanes overlap round trips across
+    shards, so the aggregate service rate (and the ~47 req/s single-producer
+    knee) scales roughly with K while per-request latency stays the single
+    deployment's round trip.  After traffic, ``erase_authors`` GDPR
+    Article 17 requests exercise the cross-shard deletion routing: each fans
+    out to exactly the shards holding that author's entries.
+
+    Shard 0 is built with ``fleet-saturation``'s exact seed offsets, so at
+    ``shards=1`` (and ``erase_authors=0``) this scenario reproduces the
+    single-deployment numbers; ``benchmarks/bench_shard_scaling.py`` pins
+    that parity and sweeps K for the knee shift.
+    """
+    shard_count = int(params["shards"])
+    if shard_count < 1:
+        raise ScenarioError("shards must be at least 1")
+    n_clients = int(params["n_clients"])
+    if n_clients < 1:
+        raise ValueError("n_clients must be at least 1")
+    anchors = int(params["anchors"])
+    fanout = int(params["fanout"])
+    # Shard 0 reuses _deployment verbatim — kernel seed, latency seed+1,
+    # overlay seed+2, loss seed+3 — the K=1 parity anchor.  Further shards
+    # join the same kernel under hash-mixed per-shard seeds.
+    simulators = [
+        _deployment(
+            seed, anchors=anchors, fanout=fanout, config=_workload_chain_config(params)
+        )
+    ]
+    kernel = simulators[0].kernel
+    assert kernel is not None
+    for shard in range(1, shard_count):
+        shard_seed = derive_client_seed(seed, shard)
+        simulators.append(
+            NetworkSimulator(
+                anchor_count=anchors,
+                config=_workload_chain_config(params),
+                latency=LatencyModel(seed=shard_seed + 1),
+                kernel=kernel,
+                gossip=_overlay("clique", anchors, fanout=fanout, seed=shard_seed + 2),
+                loss_seed=shard_seed + 3,
+            )
+        )
+    router = ShardRouter(
+        [simulator.ledger_client() for simulator in simulators],
+        clock=lambda: kernel.now,
+    )
+    workloads = [
+        _TenantLoginWorkload(
+            tenant=client_index,
+            num_events=int(params["events_per_client"]),
+            num_users=int(params["users_per_client"]),
+            deletion_rate=0.0,
+            seed=derive_client_seed(seed + 61, client_index),
+        )
+        for client_index in range(n_clients)
+    ]
+    # Every fleet client shares the one router; the lane callback keys the
+    # driver's overlap machinery to the author's home shard, so requests
+    # bound for different shards proceed concurrently in virtual time.
+    driver = simulators[0].drive_fleet(
+        workloads,
+        mean_gap_ms=float(params["mean_gap_ms"]),
+        start_at_ms=20.0,
+        in_flight_budget=int(params["in_flight_budget"]),
+        policy=str(params["overload_policy"]),
+        clients=[router] * n_clients,
+        lane_of=lambda arrival: router.shard_of(arrival.event.author),
+        lane_count=shard_count,
+    )
+
+    completion: dict[str, float] = {}
+    erasures: list[dict[str, Any]] = []
+
+    def after_traffic() -> None:
+        completion["at_ms"] = kernel.now
+        # Cross-shard right-to-be-forgotten sweep: the first authors of the
+        # sorted index, each routed to exactly the shards holding them.
+        for author in router.index.authors()[: int(params["erase_authors"])]:
+            receipt = router.request_erasure(author, reason="Art. 17 sweep")
+            erasures.append(
+                {
+                    "author": author,
+                    "shards": list(receipt.shards),
+                    "entries_targeted": receipt.entries_targeted,
+                    "approved": receipt.approved,
+                    "effort_units": receipt.effort_units,
+                }
+            )
+        until = kernel.now + float(params["settle_ms"])
+        for simulator in simulators:
+            _book_idle_heartbeat(simulator, params, until=until)
+
+    driver.on_finished = after_traffic
+    driver.schedule()
+    kernel.run()
+    reports = [simulator.finalize() for simulator in simulators]
+    report_dict = reports[0].as_dict()
+    fleet = report_dict["workloads"][driver.workload.name]
+    # Post-finalize, so the merged statistics round trips stay out of the
+    # kernel/transport counters (K=1 parity with fleet-saturation).
+    merged = router.statistics()
+    per_shard_latency = router.latency_report()
+    slowest = None
+    for name in sorted(per_shard_latency):
+        if not has_samples(per_shard_latency[name]):
+            continue  # idle shard: empty-window shape, not zero latency
+        if slowest is None or per_shard_latency[name]["p50"] > per_shard_latency[slowest]["p50"]:
+            slowest = name
+    report_dict["shards"] = {
+        "count": shard_count,
+        "aggregate": {
+            "service_latency_ms": router.aggregate_latency(),
+            "living_blocks": merged["living_blocks"],
+            "byte_size": merged["byte_size"],
+            "total_blocks_created": merged["total_blocks_created"],
+        },
+        "slowest_shard": slowest,
+        "routing": merged["routing"],
+        "per_shard": {
+            f"shard-{shard}": {
+                "service_latency_ms": per_shard_latency[f"shard-{shard}"],
+                "submitted": router.submitted_per_shard[shard],
+                "deletions": router.deletions_per_shard[shard],
+                "living_blocks": merged["per_shard"][f"shard-{shard}"]["living_blocks"],
+                "total_blocks_created": merged["per_shard"][f"shard-{shard}"][
+                    "total_blocks_created"
+                ],
+                "heads": simulators[shard].all_heads(),
+                "replicas_identical": simulators[shard].replicas_identical(),
+            }
+            for shard in range(shard_count)
+        },
+    }
+    return {
+        "report": report_dict,
+        "offered_load_per_s": round(
+            n_clients / float(params["mean_gap_ms"]) * 1000.0, 6
+        ),
+        "throughput_per_s": fleet["throughput_per_s"],
+        "request_p99_ms": fleet["request_latency_ms"]["p99"],
+        "shed": fleet["shed"],
+        "in_flight_peak": fleet["in_flight_peak"],
+        "traffic_completed_at_ms": round(completion["at_ms"], 6),
+        "erasures": erasures,
+        "heads": {
+            f"shard-{shard}": simulators[shard].all_heads()
+            for shard in range(shard_count)
+        },
+        "replicas_identical": all(
+            simulator.replicas_identical() for simulator in simulators
+        ),
     }

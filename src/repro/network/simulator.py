@@ -24,15 +24,21 @@ reproducible runs such as partition-and-heal or failover-storm — lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - service imports network, not vice versa
     from repro.adversary.base import AdversaryActor
+    from repro.service.client import LedgerClient
     from repro.service.remote import RemoteLedgerClient
     from repro.sync.antientropy import AntiEntropyService
     from repro.workloads.base import Workload
     from repro.workloads.driver import ScenarioWorkloadDriver, SubmitHook
-    from repro.workloads.fleet import FleetDriver, FleetPolicy, FleetSubmitHook
+    from repro.workloads.fleet import (
+        FleetArrival,
+        FleetDriver,
+        FleetPolicy,
+        FleetSubmitHook,
+    )
 
 from repro.consensus.base import ConsensusEngine, NullConsensus
 from repro.consensus.election import HeadElection
@@ -404,6 +410,9 @@ class NetworkSimulator:
         policy: "FleetPolicy | str" = "queue",
         on_submitted: Optional["FleetSubmitHook"] = None,
         anchor_id: Optional[str] = None,
+        clients: Optional["Sequence[LedgerClient]"] = None,
+        lane_of: Optional["Callable[[FleetArrival], int]"] = None,
+        lane_count: Optional[int] = None,
     ) -> "FleetDriver":
         """Bind a multi-client fleet to this deployment (kernel required).
 
@@ -417,13 +426,23 @@ class NetworkSimulator:
         :meth:`~repro.workloads.fleet.FleetDriver.schedule`, and advances
         the kernel; :meth:`finalize` folds the fleet statistics (per-client
         and aggregate latency percentiles) into ``report.workloads``.
+
+        ``clients`` overrides the per-client ledger clients (a sharded
+        deployment passes one shared :class:`~repro.service.sharding.ShardRouter`
+        per fleet client), and ``lane_of`` / ``lane_count`` forward the
+        fleet engine's service-lane selector and its lane tally so
+        per-shard round trips overlap through the event-driven pump.
         """
         from repro.workloads.fleet import FleetDriver
 
         kernel = self._require_kernel()
         driver = FleetDriver(
             workloads,
-            [self.ledger_client(anchor_id) for _ in workloads],
+            (
+                list(clients)
+                if clients is not None
+                else [self.ledger_client(anchor_id) for _ in workloads]
+            ),
             mean_gap_ms=mean_gap_ms,
             jitter=jitter,
             ms_per_tick=ms_per_tick,
@@ -434,6 +453,8 @@ class NetworkSimulator:
             in_flight_budget=in_flight_budget,
             policy=policy,
             on_submitted=on_submitted,
+            lane_of=lane_of,
+            lane_count=lane_count,
         )
         self._workload_drivers.append(driver)
         return driver

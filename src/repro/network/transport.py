@@ -382,6 +382,11 @@ class InMemoryTransport:
                 return
             self._account_delivery(message, request_latency)
             outcome["response"] = self._handlers[recipient](message)
+            # The handler may itself have consumed virtual time (forwarding
+            # to the producer, announcing blocks); the response leaves the
+            # moment it returns — not when the caller's wait unwinds, which
+            # under concurrent senders can be much later.
+            outcome["handled_at"] = kernel.now
 
         kernel.schedule(
             request_latency, arrive, label=f"deliver:{message.kind.value}->{recipient}"
@@ -390,11 +395,16 @@ class InMemoryTransport:
         response = outcome.get("response")
         if outcome.get("undeliverable") or response is None:
             return response
-        # The handler may itself have consumed virtual time (forwarding to the
-        # producer, announcing blocks); the response leaves at kernel.now.
         response_latency = self.latency.sample_for(recipient, message.sender)
-        kernel.run_until(kernel.now + response_latency)
-        if timeout_ms is not None and kernel.now - start > timeout_ms:
+        arrival = float(outcome["handled_at"]) + response_latency
+        # An arrival instant the clock already reached is not a wait at all:
+        # concurrent exchanges that advanced time past it do not delay this
+        # response (their round trips and ours overlap), and entering the
+        # kernel here would steal same-instant events that belong to the
+        # caller's *next* wait.
+        if arrival > kernel.now:
+            kernel.run_until(arrival)
+        if timeout_ms is not None and arrival - start > timeout_ms:
             self.statistics.timeouts += 1
             return None
         if not self._path_open(recipient, message.sender):
@@ -408,6 +418,96 @@ class InMemoryTransport:
             )
         self._account_delivery(response, response_latency)
         return response
+
+    def send_async(
+        self,
+        recipient: str,
+        message: Message,
+        *,
+        on_response: Callable[[Optional[Message]], None],
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        """Event-driven request/response exchange (kernel mode only).
+
+        Semantically :meth:`send`, but instead of waiting on the virtual
+        clock the caller's continuation is invoked when the response
+        arrives: the request is delivered at ``now + latency``, the handler
+        runs at delivery time, and ``on_response`` fires one response
+        latency after the handler returns.  Nothing blocks, so any number
+        of exchanges — to the same node or different ones — overlap fully
+        in virtual time.  This is what lets a sharded fleet keep K
+        deployments busy at once; the blocking :meth:`send` serialises the
+        caller behind one outstanding round trip.
+
+        ``on_response`` receives the response message, an error message for
+        transport faults (matching :meth:`send`'s error surface), or
+        ``None`` for a silent handler or an exceeded ``timeout_ms``.
+        """
+        kernel = self._require_kernel()
+        if recipient not in self._handlers:
+            raise TransportError(f"unknown recipient {recipient!r}")
+        start = kernel.now
+        request_latency = self.latency.sample_for(message.sender, recipient)
+
+        def arrive() -> None:
+            if not self._deliverable(message.sender, recipient):
+                self.statistics.dropped += 1
+                on_response(
+                    message.error(
+                        "transport", f"link {message.sender!r} -> {recipient!r} unavailable"
+                    )
+                )
+                return
+            if self._loses():
+                on_response(
+                    message.error(
+                        "transport", f"message {message.sender!r} -> {recipient!r} lost"
+                    )
+                )
+                return
+            self._account_delivery(message, request_latency)
+            response = self._handlers[recipient](message)
+            if response is None:
+                on_response(None)
+                return
+            # The handler may have consumed virtual time; the response
+            # leaves the moment it returns, exactly as in the blocking path.
+            response_latency = self.latency.sample_for(recipient, message.sender)
+            if timeout_ms is not None and (kernel.now - start) + response_latency > timeout_ms:
+                self.statistics.timeouts += 1
+                on_response(None)
+                return
+
+            def respond() -> None:
+                if not self._path_open(recipient, message.sender):
+                    self.statistics.dropped += 1
+                    on_response(
+                        message.error(
+                            "transport",
+                            f"response from {recipient!r} to {message.sender!r} lost",
+                        )
+                    )
+                    return
+                if self._loses():
+                    on_response(
+                        message.error(
+                            "transport",
+                            f"response from {recipient!r} to {message.sender!r} lost",
+                        )
+                    )
+                    return
+                self._account_delivery(response, response_latency)
+                on_response(response)
+
+            kernel.schedule(
+                response_latency,
+                respond,
+                label=f"respond:{message.kind.value}->{message.sender}",
+            )
+
+        kernel.schedule(
+            request_latency, arrive, label=f"deliver:{message.kind.value}->{recipient}"
+        )
 
     def post(self, recipient: str, message: Message) -> Optional[EventHandle]:
         """Fire-and-forget one-way delivery; any handler response is discarded.

@@ -21,6 +21,12 @@ from repro.service.client import (
 )
 from repro.service.baseline import BaselineLedgerClient
 from repro.service.remote import RemoteLedgerClient
+from repro.service.sharding import (
+    ErasureReceipt,
+    ShardAuthorIndex,
+    ShardRouter,
+    shard_of_author,
+)
 
 __all__ = [
     "DeletionReceipt",
@@ -32,4 +38,8 @@ __all__ = [
     "as_reference",
     "BaselineLedgerClient",
     "RemoteLedgerClient",
+    "ErasureReceipt",
+    "ShardAuthorIndex",
+    "ShardRouter",
+    "shard_of_author",
 ]

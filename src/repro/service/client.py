@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Callable, Mapping, Optional, Union
 
 from repro.core.chain import Blockchain
 from repro.core.entry import EntryReference
@@ -117,6 +117,34 @@ class LedgerClient(ABC):
         seal: bool = True,
     ) -> SubmitReceipt:
         """Submit one signed record; seals one block unless ``seal=False``."""
+
+    def submit_async(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        on_receipt: Callable[[SubmitReceipt], None],
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        seal: bool = True,
+    ) -> None:
+        """:meth:`submit` with the receipt delivered through a callback.
+
+        The default completes synchronously — ``on_receipt`` runs before
+        this returns.  Kernel-backed clients override it with a genuinely
+        event-driven exchange so concurrent submissions overlap in virtual
+        time; callers that need to know whether completion was deferred
+        must track it themselves (see ``FleetDriver``'s lane pump).
+        """
+        on_receipt(
+            self.submit(
+                data,
+                author,
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+                seal=seal,
+            )
+        )
 
     @abstractmethod
     def request_deletion(

@@ -86,15 +86,25 @@ class RemoteLedgerClient(LedgerClient):
             )
         return response
 
-    def _with_failover(self, operation: Callable[[str], Message]) -> Message:
+    def _with_failover(
+        self, operation: Callable[[str], Message], *, first: Optional[str] = None
+    ) -> Message:
         """Run ``operation`` against the bound anchor, falling over on error.
 
         ``operation`` receives an anchor id and returns the response message;
         the first non-error response wins.  When every anchor errors, the
-        last error response is returned for the caller to surface.
+        last error response is returned for the caller to surface.  Queries
+        pass ``first=query_anchor_id`` so the read path starts at its bound
+        replica before trying the rest of the deployment; fallbacks that
+        duplicate ``first`` are skipped.
         """
+        primary = first if first is not None else self.anchor_id
+        targets = [primary]
+        for fallback in (self.anchor_id, *self.fallback_anchor_ids):
+            if fallback not in targets:
+                targets.append(fallback)
         response: Optional[Message] = None
-        for target in (self.anchor_id, *self.fallback_anchor_ids):
+        for target in targets:
             response = operation(target)
             if not response.is_error:
                 return response
@@ -107,6 +117,25 @@ class RemoteLedgerClient(LedgerClient):
     # ------------------------------------------------------------------ #
     # LedgerClient protocol
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _submit_receipt_from(response: Message) -> SubmitReceipt:
+        if response.is_error:
+            return SubmitReceipt(
+                reference=None,
+                block_number=None,
+                sealed=False,
+                error=str(response.payload.get("reason", "submission failed")),
+            )
+        block_number = response.payload.get("block_number")
+        entry_number = response.payload.get("entry_number")
+        if block_number is None or entry_number is None:
+            return SubmitReceipt(reference=None, block_number=None, sealed=False)
+        return SubmitReceipt(
+            reference=EntryReference(int(block_number), int(entry_number)),
+            block_number=int(block_number),
+            sealed=True,
+        )
 
     def submit(
         self,
@@ -127,22 +156,53 @@ class RemoteLedgerClient(LedgerClient):
                 defer_seal=not seal,
             )
         )
-        if response.is_error:
-            return SubmitReceipt(
-                reference=None,
-                block_number=None,
-                sealed=False,
-                error=str(response.payload.get("reason", "submission failed")),
+        return self._submit_receipt_from(response)
+
+    def submit_async(
+        self,
+        data: Mapping[str, Any],
+        author: str,
+        *,
+        on_receipt: Callable[[SubmitReceipt], None],
+        expires_at_time: Optional[int] = None,
+        expires_at_block: Optional[int] = None,
+        seal: bool = True,
+    ) -> None:
+        """:meth:`submit` without the virtual-time wait (kernel mode only).
+
+        The receipt callback fires when the anchor's response arrives;
+        failover walks the same target order as the blocking path, one
+        continuation per attempt.  Overlapping submissions — to one anchor
+        or across a sharded deployment — consume concurrent, not summed,
+        round-trip time.
+        """
+        client = self._client_for(author)
+        targets = [self.anchor_id]
+        for fallback in self.fallback_anchor_ids:
+            if fallback not in targets:
+                targets.append(fallback)
+
+        def attempt(index: int) -> None:
+            def handle(response: Message) -> None:
+                if not response.is_error:
+                    on_receipt(self._submit_receipt_from(response))
+                    return
+                if index + 1 < len(targets):
+                    self.failovers += 1
+                    attempt(index + 1)
+                    return
+                on_receipt(self._submit_receipt_from(response))
+
+            client.submit_entry_async(
+                targets[index],
+                dict(data),
+                on_response=handle,
+                expires_at_time=expires_at_time,
+                expires_at_block=expires_at_block,
+                defer_seal=not seal,
             )
-        block_number = response.payload.get("block_number")
-        entry_number = response.payload.get("entry_number")
-        if block_number is None or entry_number is None:
-            return SubmitReceipt(reference=None, block_number=None, sealed=False)
-        return SubmitReceipt(
-            reference=EntryReference(int(block_number), int(entry_number)),
-            block_number=int(block_number),
-            sealed=True,
-        )
+
+        attempt(0)
 
     def request_deletion(
         self,
@@ -173,10 +233,19 @@ class RemoteLedgerClient(LedgerClient):
         )
 
     def find_entry(self, reference: TargetLike) -> Optional[LedgerRecord]:
-        """Look the record up on the query anchor's replica."""
+        """Look the record up on the query anchor's replica.
+
+        Converged replicas answer lookups identically, so when the query
+        anchor times out the lookup fails over to the rest of the deployment
+        instead of raising — reads survive any single-node outage.
+        """
         resolved = as_reference(reference)
         response = self._require_ok(
-            self._driver().find_entry(self.query_anchor_id, resolved), "find_entry"
+            self._with_failover(
+                lambda target: self._driver().find_entry(target, resolved),
+                first=self.query_anchor_id,
+            ),
+            "find_entry",
         )
         if not response.payload.get("found"):
             return None
@@ -189,9 +258,13 @@ class RemoteLedgerClient(LedgerClient):
         )
 
     def statistics(self) -> dict[str, Any]:
-        """The query anchor's replica statistics."""
+        """The query anchor's replica statistics (with read failover)."""
         response = self._require_ok(
-            self._driver().query_statistics(self.query_anchor_id), "statistics"
+            self._with_failover(
+                lambda target: self._driver().query_statistics(target),
+                first=self.query_anchor_id,
+            ),
+            "statistics",
         )
         return dict(response.payload.get("statistics", {}))
 

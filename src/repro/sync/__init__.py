@@ -22,9 +22,13 @@ from repro.sync.bootstrap import (
     DEFAULT_MAX_RETRIES,
     BootstrapError,
     BootstrapReport,
+    PeerProbe,
     SnapshotChunkCache,
     SnapshotManifest,
     fetch_snapshot,
+    fetch_snapshot_striped,
+    probe_snapshot_peer,
+    rank_bootstrap_peers,
 )
 
 __all__ = [
@@ -32,9 +36,13 @@ __all__ = [
     "DEFAULT_INTERVAL_MS",
     "BootstrapError",
     "BootstrapReport",
+    "PeerProbe",
     "SnapshotChunkCache",
     "SnapshotManifest",
     "fetch_snapshot",
+    "fetch_snapshot_striped",
+    "probe_snapshot_peer",
+    "rank_bootstrap_peers",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_MAX_RESTARTS",
     "DEFAULT_MAX_RETRIES",

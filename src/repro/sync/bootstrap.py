@@ -28,11 +28,13 @@ under loss replays byte-identically for a given seed.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
 
 from repro.core.errors import SelectiveDeletionError
 from repro.network.message import Message, MessageKind
+from repro.network.transport import TransportError
 from repro.storage.snapshot import snapshot_digest, snapshot_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -158,6 +160,10 @@ class BootstrapReport:
     payload_bytes: int = 0
     manifest: Optional[SnapshotManifest] = None
     payload: Optional[str] = field(default=None, repr=False)
+    #: Peers that actually served chunks (striped fetches only; a plain
+    #: single-peer fetch leaves this at ``[peer_id]`` semantics via
+    #: ``peer_id`` itself).
+    donors: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
         """Counter view for simulation reports (payload omitted)."""
@@ -169,6 +175,7 @@ class BootstrapReport:
             "retransmits": self.retransmits,
             "restarts": self.restarts,
             "payload_bytes": self.payload_bytes,
+            "donors": list(self.donors),
         }
 
 
@@ -277,4 +284,309 @@ def fetch_snapshot(
         report.payload_bytes = manifest.total_bytes
         return report
     report.reason = f"peer's head kept moving ({max_restarts} restarts exhausted)"
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Load-aware multi-peer bootstrap
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PeerProbe:
+    """One answered bootstrap probe: who, how far, how busy, serving what."""
+
+    peer_id: str
+    #: Probe round-trip time in virtual ms (``0.0`` on a synchronous
+    #: transport, where every peer is equally "near").
+    rtt_ms: float
+    #: Chunks the peer has served so far — its snapshot-serving load.
+    load: int
+    manifest: SnapshotManifest
+
+
+def probe_snapshot_peer(
+    transport: "InMemoryTransport",
+    requester_id: str,
+    peer_id: str,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Optional[PeerProbe]:
+    """Ask one peer for its snapshot manifest and serving load (no data).
+
+    Returns ``None`` for unreachable peers and peers that cannot serve a
+    snapshot — they simply drop out of the candidate ranking.
+    """
+    started = transport.kernel.now if transport.kernel is not None else 0.0
+    request = Message(
+        kind=MessageKind.SNAPSHOT_REQUEST,
+        sender=requester_id,
+        payload={"probe": True, "chunk_size": chunk_size},
+    )
+    try:
+        response = transport.send(peer_id, request)
+    except TransportError:
+        return None
+    if response is None or response.is_error:
+        return None
+    rtt = (transport.kernel.now - started) if transport.kernel is not None else 0.0
+    return PeerProbe(
+        peer_id=peer_id,
+        rtt_ms=round(rtt, 6),
+        load=int(response.payload.get("load", 0)),
+        manifest=SnapshotManifest.from_dict(response.payload["manifest"]),
+    )
+
+
+def rank_bootstrap_peers(
+    transport: "InMemoryTransport",
+    requester_id: str,
+    peer_ids: Sequence[str],
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[PeerProbe]:
+    """Probe every candidate and rank them nearest-and-least-loaded first.
+
+    All probes depart in one concurrent wave (one round trip of wall time on
+    a kernel transport, not one per candidate), and each peer's RTT is
+    measured from the shared departure instant — directly comparable across
+    peers.  The sort key is ``(rtt_ms, load, peer_id)``: proximity dominates
+    (a bootstrap is dozens of round trips), serving load breaks latency
+    ties, and the peer id makes the ranking a total order so runs replay
+    byte-identically.  Unreachable and snapshot-less peers drop out.
+    """
+    candidates = [peer for peer in sorted(set(peer_ids)) if peer != requester_id]
+    probes: list[PeerProbe] = []
+    kernel = transport.kernel
+    if kernel is None:
+        for peer_id in candidates:
+            probe = probe_snapshot_peer(
+                transport, requester_id, peer_id, chunk_size=chunk_size
+            )
+            if probe is not None:
+                probes.append(probe)
+        probes.sort(key=lambda probe: (probe.rtt_ms, probe.load, probe.peer_id))
+        return probes
+    started = kernel.now
+    results: dict[str, tuple[Optional[Message], float]] = {}
+    pending = {"count": 0}
+    for peer_id in candidates:
+
+        def on_response(response: Optional[Message], peer_id: str = peer_id) -> None:
+            results[peer_id] = (response, kernel.now - started)
+            pending["count"] -= 1
+
+        pending["count"] += 1
+        try:
+            transport.send_async(
+                peer_id,
+                Message(
+                    kind=MessageKind.SNAPSHOT_REQUEST,
+                    sender=requester_id,
+                    payload={"probe": True, "chunk_size": chunk_size},
+                ),
+                on_response=on_response,
+            )
+        except TransportError:
+            pending["count"] -= 1
+    while pending["count"] > 0 and kernel.step():
+        pass
+    for peer_id in candidates:
+        response, rtt = results.get(peer_id, (None, 0.0))
+        if response is None or response.is_error:
+            continue
+        probes.append(
+            PeerProbe(
+                peer_id=peer_id,
+                rtt_ms=round(rtt, 6),
+                load=int(response.payload.get("load", 0)),
+                manifest=SnapshotManifest.from_dict(response.payload["manifest"]),
+            )
+        )
+    probes.sort(key=lambda probe: (probe.rtt_ms, probe.load, probe.peer_id))
+    return probes
+
+
+def _request_wave(
+    transport: "InMemoryTransport",
+    requester_id: str,
+    requests: Sequence[tuple[int, str, dict]],
+) -> dict[int, Optional[Message]]:
+    """Issue one ``SNAPSHOT_REQUEST`` per ``(key, recipient, payload)`` item.
+
+    Under a kernel the whole wave departs at the same virtual instant via
+    :meth:`~repro.network.transport.InMemoryTransport.send_async` and the
+    kernel is stepped until every response (or its loss notice) has landed —
+    the wave costs the *slowest* round trip, not the sum.  On a synchronous
+    transport the requests simply run back to back.
+    """
+    responses: dict[int, Optional[Message]] = {}
+    kernel = transport.kernel
+    if kernel is None:
+        for key, recipient, payload in requests:
+            request = Message(
+                kind=MessageKind.SNAPSHOT_REQUEST, sender=requester_id, payload=payload
+            )
+            try:
+                responses[key] = transport.send(recipient, request)
+            except TransportError:
+                responses[key] = None
+        return responses
+    pending = {"count": 0}
+    for key, recipient, payload in requests:
+        request = Message(
+            kind=MessageKind.SNAPSHOT_REQUEST, sender=requester_id, payload=payload
+        )
+
+        def on_response(response: Optional[Message], key: int = key) -> None:
+            responses[key] = response
+            pending["count"] -= 1
+
+        pending["count"] += 1
+        try:
+            transport.send_async(recipient, request, on_response=on_response)
+        except TransportError:
+            pending["count"] -= 1
+            responses[key] = None
+    while pending["count"] > 0 and kernel.step():
+        pass
+    return responses
+
+
+def _striped_requests(
+    transport: "InMemoryTransport",
+    requester_id: str,
+    assignments: Sequence[tuple[int, str]],
+    chunk_size: int,
+) -> dict[int, Optional[Message]]:
+    """One concurrent wave of chunk requests, one per ``(index, donor)``."""
+    return _request_wave(
+        transport,
+        requester_id,
+        [
+            (index, donor, {"chunk": index, "chunk_size": chunk_size})
+            for index, donor in assignments
+        ],
+    )
+
+
+def fetch_snapshot_striped(
+    transport: "InMemoryTransport",
+    requester_id: str,
+    peer_ids: Sequence[str],
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    max_restarts: int = DEFAULT_MAX_RESTARTS,
+) -> BootstrapReport:
+    """Pull one snapshot with chunks striped across the best-ranked peers.
+
+    Candidates are probed and ranked (:func:`rank_bootstrap_peers`); every
+    peer serving the best peer's exact *payload* joins the donor set, and
+    chunk ``i``
+    is assigned to donor ``(i + attempts) % len(donors)`` — deterministic,
+    load-spreading, and self-healing: a chunk whose donor lost it is re-
+    requested from the *next* donor rather than burning all retries on one
+    sick peer.  Waves of ``len(donors)`` requests are issued concurrently
+    (see :func:`_striped_requests`).
+
+    Donors are replicas with independent clocks: under live traffic they
+    seal and replay new blocks at slightly different instants, so one donor
+    drifting off the snapshot head mid-transfer is the *expected* case, not
+    a failed transfer.  A drifted donor (new head hash, or a "chunk out of
+    range" verdict after its snapshot shrank) is evicted from the donor set
+    and its chunks reassigned to the remaining donors; only when every
+    donor has drifted does the transfer restart with a fresh ranking,
+    exactly like :func:`fetch_snapshot`'s moved-head restart.
+    """
+    report = BootstrapReport(peer_id="")
+    for restart in range(max_restarts + 1):
+        if restart:
+            report.restarts += 1
+        ranked = rank_bootstrap_peers(
+            transport, requester_id, peer_ids, chunk_size=chunk_size
+        )
+        if not ranked:
+            report.reason = "no bootstrap peer answered the probe"
+            return report
+        # Freshness dominates the ranking: a near peer serving a stale head
+        # would be adopted only to need another pull.  Among the peers at
+        # the most advanced head, the probe order (nearest, least loaded)
+        # picks the lead donor.
+        top_head = max(probe.manifest.head_number for probe in ranked)
+        fresh = [probe for probe in ranked if probe.manifest.head_number == top_head]
+        best = fresh[0]
+        report.peer_id = best.peer_id
+        manifest = best.manifest
+        # Donor membership is keyed by the payload *digest*, not the head
+        # hash: the wire payload carries replica-local history (the chain
+        # event log) the head hash does not commit, so two replicas at the
+        # identical head can serve different bytes — and chunks of
+        # different byte streams cannot be mixed.
+        donors = [
+            probe.peer_id
+            for probe in fresh
+            if probe.manifest.digest == manifest.digest
+        ]
+        report.donors = list(donors)
+        parts: dict[int, str] = {}
+        attempts = {index: 0 for index in range(manifest.total_chunks)}
+        work: deque[int] = deque(range(manifest.total_chunks))
+        active = list(donors)
+        stale = False
+        failure = ""
+        while work and not failure:
+            if not active:
+                # Every donor drifted off the snapshot head: nobody can
+                # serve the remaining chunks — re-rank and start over.
+                stale = True
+                break
+            wave: list[tuple[int, str]] = []
+            while work and len(wave) < len(active):
+                index = work.popleft()
+                wave.append((index, active[(index + attempts[index]) % len(active)]))
+            responses = _striped_requests(transport, requester_id, wave, chunk_size)
+            for index, donor in wave:
+                response = responses.get(index)
+                if response is None or (
+                    response.is_error and response.sender == "transport"
+                ):
+                    attempts[index] += 1
+                    report.retransmits += 1
+                    if attempts[index] > max_retries:
+                        failure = f"chunk {index} exhausted retries"
+                        break
+                    work.append(index)
+                    continue
+                if response.is_error or (
+                    SnapshotManifest.from_dict(
+                        response.payload["manifest"]
+                    ).digest
+                    != manifest.digest
+                ):
+                    # This donor no longer serves the snapshot we are
+                    # assembling (sealed past it, or it shrank).  Evict it
+                    # and re-request the chunk from the remaining donors.
+                    if donor in active:
+                        active.remove(donor)
+                    work.append(index)
+                    continue
+                parts[index] = str(response.payload["data"])
+                report.chunks_fetched += 1
+        if stale:
+            continue
+        if failure:
+            report.reason = failure
+            return report
+        payload = "".join(parts[index] for index in range(manifest.total_chunks))
+        if len(payload) != manifest.total_bytes or snapshot_digest(payload) != manifest.digest:
+            report.reason = "assembled payload does not match the manifest digest"
+            return report
+        report.succeeded = True
+        report.reason = "ok"
+        report.manifest = manifest
+        report.payload = payload
+        report.payload_bytes = manifest.total_bytes
+        return report
+    report.reason = f"peers' heads kept moving ({max_restarts} restarts exhausted)"
     return report

@@ -26,7 +26,12 @@ from repro.workloads.logging import (
     PaperScenarioWorkload,
     login_record,
 )
-from repro.workloads.stats import PERCENTILE_LEVELS, latency_summary, percentile
+from repro.workloads.stats import (
+    PERCENTILE_LEVELS,
+    has_samples,
+    latency_summary,
+    percentile,
+)
 from repro.workloads.supply_chain import SupplyChainWorkload
 from repro.workloads.vehicle import VehicleLifecycleWorkload
 
@@ -49,6 +54,7 @@ __all__ = [
     "WorkloadRunStats",
     "derive_client_seed",
     "fleet_timeline",
+    "has_samples",
     "latency_summary",
     "percentile",
     "ErasureCase",

@@ -43,6 +43,7 @@ numbers are plain rounded floats — fleet runs replay byte-identically per
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
@@ -70,11 +71,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel is optional)
 #: (reference maps, erasure schedules) keys naturally.
 FleetSubmitHook = Callable[[int, int, WorkloadEvent, SubmitReceipt], None]
 
-#: Sub-seed stride: a large prime so neighbouring client indices land on
-#: unrelated RNG streams.  Client 0 keeps the fleet seed itself — the
-#: executable-spec pin relies on a one-client fleet replaying the exact
-#: single-driver workload.
-_CLIENT_SEED_STRIDE = 7919
+#: Domain tag for the sub-seed hash mix: every ``(seed, client_index)``
+#: pair maps to an independent 64-bit stream key, so no two fleets share a
+#: per-client sub-stream no matter how their fleet seeds relate.  (The
+#: earlier additive prime stride made client ``i`` of seed ``s`` collide
+#: with client ``i+1`` of seed ``s - stride`` — exactly what a sharded
+#: deployment deriving per-shard fleet seeds would trip over.)
+_CLIENT_SEED_DOMAIN = "fleet-client"
 
 
 class FleetPolicy(str, Enum):
@@ -92,11 +95,17 @@ def derive_client_seed(seed: int, client_index: int) -> int:
     """The deterministic sub-seed of fleet client ``client_index``.
 
     Client 0 keeps ``seed`` unchanged (a one-client fleet *is* the
-    single-driver run); further clients stride by a fixed prime.
+    single-driver run); further clients hash-mix ``(seed, client_index)``
+    through SHA-256 so distinct fleets never share a per-client sub-stream.
     """
     if client_index < 0:
         raise ValueError("client_index must be non-negative")
-    return seed + _CLIENT_SEED_STRIDE * client_index
+    if client_index == 0:
+        return seed
+    digest = hashlib.sha256(
+        f"{_CLIENT_SEED_DOMAIN}:{seed}:{client_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -240,6 +249,26 @@ class FleetDriver:
     on_submitted:
         Optional :data:`FleetSubmitHook`; ``on_finished`` is a plain
         attribute called once after the final arrival completed or was shed.
+    lane_of:
+        Optional service-lane selector.  By default the whole fleet drains
+        through **one** service pump — requests round-trip strictly one at
+        a time, which is the single-deployment model (and the source of its
+        ~47 req/s ceiling).  A sharded deployment passes
+        ``lane_of(arrival) -> lane`` (typically the arrival author's shard)
+        to give every lane its own pump: round trips in *different* lanes
+        overlap in virtual time — lane B's request departs while lane A's
+        is still on the wire — so aggregate service rate scales with the
+        number of lanes while each lane stays internally sequential.
+    lane_count:
+        Declared number of service lanes.  With more than one lane the
+        driver switches to the **event-driven pump**: ENTRY submissions go
+        through :meth:`LedgerClient.submit_async` and a lane's next request
+        departs from the response-arrival callback instead of a blocking
+        virtual-time wait, so N lanes genuinely sustain N overlapped round
+        trips (the nested blocking pump tops out well short of that — every
+        response return has to unwind through whatever stacked beneath it).
+        Left at ``None`` (or ``1``) the classic blocking pump runs and the
+        kernel sees the exact event sequence of a single-deployment run.
     """
 
     def __init__(
@@ -258,6 +287,8 @@ class FleetDriver:
         in_flight_budget: int = 8,
         policy: FleetPolicy | str = FleetPolicy.QUEUE,
         on_submitted: Optional[FleetSubmitHook] = None,
+        lane_of: Optional[Callable[[FleetArrival], int]] = None,
+        lane_count: Optional[int] = None,
     ) -> None:
         if not workloads:
             raise ValueError("a fleet needs at least one client workload")
@@ -284,6 +315,11 @@ class FleetDriver:
         self.in_flight_budget = int(in_flight_budget)
         self.policy = FleetPolicy(policy)
         self.on_submitted = on_submitted
+        self.lane_of = lane_of
+        self.lane_count = lane_count
+        #: Event-driven pump active: multi-lane fleets issue requests
+        #: asynchronously so lanes overlap without nesting blocking waits.
+        self._async = kernel is not None and lane_count is not None and lane_count > 1
         #: Called once after the final arrival has completed or been shed.
         self.on_finished: Optional[Callable[[], None]] = None
         self.timeline: list[FleetArrival] = fleet_timeline(
@@ -313,8 +349,14 @@ class FleetDriver:
         self._finished = False
         self._processed = 0
         self._in_flight = 0
-        self._pumping = False
-        self._service: deque[FleetArrival] = deque()
+        #: Lanes currently inside their pump loop (lane 0 is the only lane
+        #: when ``lane_of`` is None, so the default run never grows these
+        #: maps past one entry and behaves exactly like a single pump).
+        self._pumping: set[int] = set()
+        self._waking: set[int] = set()
+        #: Lanes with an async request in flight (event-driven pump only).
+        self._busy: set[int] = set()
+        self._service: dict[int, deque[FleetArrival]] = {}
         self._backlog: deque[FleetArrival] = deque()
         #: reference key -> virtual request time, for latency pairing.
         self._deletion_requested_at: dict[tuple[int, int], float] = {}
@@ -429,39 +471,172 @@ class FleetDriver:
             return
         self._admit(arrival)
 
+    def _lane(self, arrival: FleetArrival) -> int:
+        return 0 if self.lane_of is None else self.lane_of(arrival)
+
     def _admit(self, arrival: FleetArrival) -> None:
         self._in_flight += 1
         if self._in_flight > self.stats.in_flight_peak:
             self.stats.in_flight_peak = self._in_flight
-        self._service.append(arrival)
-        if not self._pumping:
-            self._pump()
+        lane = self._lane(arrival)
+        self._service.setdefault(lane, deque()).append(arrival)
+        if self._async:
+            self._pump_async(lane)
+        elif lane not in self._pumping:
+            self._pump(lane)
 
-    def _pump(self) -> None:
-        """Drain the service queue, one blocking round trip at a time.
+    def _pump(self, lane: int) -> None:
+        """Drain one lane's service queue, one blocking round trip at a time.
 
-        Runs inside the kernel callback that admitted the first request.
-        Arrivals firing *during* a round trip (the transport's nested
-        virtual-time wait) only enqueue — the loop here picks them up — so
-        stack depth stays constant no matter how deep the backlog grows.
+        Runs inside the kernel callback that admitted the lane's first
+        request.  Arrivals firing *during* a round trip (the transport's
+        nested virtual-time wait) only enqueue — this loop picks up same-lane
+        ones, and an idle *other* lane starts its own pump from the arrival
+        callback, nested inside this lane's virtual-time wait.  That nesting
+        is what makes cross-lane round trips overlap.
+
+        When this pump itself runs nested above other pumping lanes, it
+        yields the stack after every item (a zero-delay wake re-enters the
+        queue at the same virtual instant): draining a whole lane from a
+        nested frame would block the lanes beneath it for the duration, and
+        it is the blocked lanes' overlapped responses — already in flight —
+        that the aggregate service rate comes from.  A single lane never
+        yields, so the default path schedules no extra kernel events.
         """
-        self._pumping = True
+        self._pumping.add(lane)
+        queue = self._service.setdefault(lane, deque())
         try:
-            while self._service:
-                arrival = self._service.popleft()
+            while queue:
+                arrival = queue.popleft()
                 try:
                     self._execute(arrival)
                 finally:
                     self._in_flight -= 1
                     self._complete(arrival)
-                    while self._backlog and self._in_flight < self.in_flight_budget:
-                        waiting = self._backlog.popleft()
-                        self._in_flight += 1
-                        if self._in_flight > self.stats.in_flight_peak:
-                            self.stats.in_flight_peak = self._in_flight
-                        self._service.append(waiting)
+                    self._drain_backlog(lane)
+                if len(self._pumping) > 1 and queue:
+                    # Other lanes are stacked beneath this frame: hand the
+                    # stack back so they can progress, and resume this
+                    # lane's queue from a fresh frame at the same instant.
+                    self._wake(lane)
+                    return
         finally:
-            self._pumping = False
+            self._pumping.discard(lane)
+
+    def _drain_backlog(self, current_lane: int) -> None:
+        """Admit backlogged arrivals into freed budget slots, lane-routed.
+
+        Same-lane admissions are picked up by the caller's pump loop; an
+        idle other lane is woken through a zero-delay kernel event rather
+        than a recursive call, so its round trips run from a fresh frame
+        (bounded stack) while still overlapping this lane's waits.  With a
+        single lane (``lane_of`` None) the kernel path never triggers.
+        """
+        while self._backlog and self._in_flight < self.in_flight_budget:
+            waiting = self._backlog.popleft()
+            self._in_flight += 1
+            if self._in_flight > self.stats.in_flight_peak:
+                self.stats.in_flight_peak = self._in_flight
+            lane = self._lane(waiting)
+            self._service.setdefault(lane, deque()).append(waiting)
+            if lane == current_lane:
+                # Picked up by the caller — the blocking pump's loop or the
+                # async completion's re-pump.
+                continue
+            if self._async:
+                # An async pump never blocks, so an idle other lane can be
+                # re-entered directly (it self-guards while busy).
+                self._pump_async(lane)
+            elif lane not in self._pumping:
+                self._wake(lane)
+
+    def _wake(self, lane: int) -> None:
+        """Book a zero-delay kernel event that re-enters a lane's pump."""
+        if lane in self._waking:
+            return
+        assert self.kernel is not None
+        self._waking.add(lane)
+        self.kernel.schedule_at(
+            self.kernel.now,
+            lambda: self._pump_idle(lane),
+            label=f"fleet:{self.workload.name}:lane-{lane}:wake",
+        )
+
+    def _pump_idle(self, lane: int) -> None:
+        self._waking.discard(lane)
+        if lane not in self._pumping and self._service.get(lane):
+            self._pump(lane)
+
+    # ------------------------------------------------------------------ #
+    # Event-driven pump (multi-lane deployments)
+    # ------------------------------------------------------------------ #
+
+    def _pump_async(self, lane: int) -> None:
+        """Issue the lane's next request without blocking on its round trip.
+
+        Each lane keeps at most one request in flight; the next departs from
+        the completion callback.  A client whose ``submit_async`` completes
+        synchronously (the protocol default, or a zero-latency transport)
+        must not recurse through that callback — the ``sync``/``done`` state
+        pair turns immediate completions back into loop iterations.
+        """
+        if lane in self._busy:
+            return
+        queue = self._service.setdefault(lane, deque())
+        while queue:
+            arrival = queue.popleft()
+            self._busy.add(lane)
+            state = {"sync": True, "done": False}
+
+            def done(arrival: FleetArrival = arrival, state: dict = state) -> None:
+                state["done"] = True
+                self._busy.discard(lane)
+                self._in_flight -= 1
+                self._complete(arrival)
+                self._drain_backlog(lane)
+                if not state["sync"]:
+                    self._pump_async(lane)
+
+            self._execute_async(arrival, done)
+            state["sync"] = False
+            if not state["done"]:
+                return
+
+    def _execute_async(self, arrival: FleetArrival, done: Callable[[], None]) -> None:
+        """Run one arrival, signalling completion through ``done``.
+
+        ENTRY events go through the client's asynchronous submit path;
+        deletions and idle ticks are rare bookkeeping round trips that stay
+        on the blocking path (their latency is charged identically).
+        """
+        event = arrival.event
+        if event.kind is not EventKind.ENTRY:
+            try:
+                self._execute(arrival)
+            finally:
+                done()
+            return
+        stats = self.stats.clients[arrival.client_index].run
+        client = self.clients[arrival.client_index]
+
+        def on_receipt(receipt: SubmitReceipt) -> None:
+            stats.entries_submitted += 1
+            if not receipt.ok:
+                stats.entries_rejected += 1
+            elif receipt.sealed:
+                stats.blocks_sealed += 1
+            if self.on_submitted is not None:
+                self.on_submitted(arrival.client_index, arrival.position, event, receipt)
+            done()
+
+        client.submit_async(
+            event.data,
+            event.author,
+            on_receipt=on_receipt,
+            expires_at_time=self._rescale_expiry(event.expires_at_time),
+            expires_at_block=event.expires_at_block,
+            seal=self.one_block_per_entry,
+        )
 
     def _shed(self, arrival: FleetArrival) -> None:
         client = self.stats.clients[arrival.client_index]

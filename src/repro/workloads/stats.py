@@ -71,3 +71,18 @@ def latency_summary(values: Iterable[float]) -> dict[str, Any]:
     for key, level in PERCENTILE_LEVELS:
         summary[key] = round(percentile(samples, level), 6)
     return summary
+
+
+def has_samples(summary: Any) -> bool:
+    """Whether a :func:`latency_summary` block holds real measurements.
+
+    An empty window reports ``p50/p95/p99 = 0.0`` with ``count = 0`` —
+    indistinguishable from genuinely-zero latency by the percentile values
+    alone.  Every consumer that *compares* percentiles (knee detectors,
+    per-shard merges) must gate on this first, or an idle shard reads as an
+    infinitely fast one.
+    """
+    try:
+        return int(summary.get("count", 0)) > 0
+    except AttributeError:
+        return False

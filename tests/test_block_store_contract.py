@@ -190,6 +190,49 @@ class TestChainOnStores:
         reloaded.append(blocks[0])
         assert reloaded.head().block_number == blocks[0].block_number
 
+    def test_truncate_at_exactly_head_plus_one_survives_two_reloads(self, tmp_path):
+        """The "emptied store accepts a fresh range" comment in ``wal.py``
+        is load-bearing twice: once live (``truncate_before`` at exactly
+        ``head + 1`` clears the contiguity anchor) and once in ``_load``,
+        which must mirror it for a truncate record sitting *mid-journal*.
+        Empty the store at ``head + 1``, reopen, start a fresh range at an
+        unrelated number, then reopen again — the second reload replays
+        [appends, truncate-to-empty, fresh appends] from one file and must
+        land in the identical usable state.
+        """
+        path = tmp_path / "midfile.journal"
+        blocks = build_blocks()
+        store = JournalBlockStore(path)
+        for block in blocks[:4]:
+            store.append(block)
+        head = store.head().block_number
+        assert store.truncate_before(head + 1) == 4
+        assert len(store) == 0 and store.head() is None
+
+        # First reload: the truncate record is the journal's tail.
+        reopened = JournalBlockStore(path)
+        assert len(reopened) == 0 and reopened.head() is None
+        # A fresh range may start anywhere — here past a gap from the old
+        # head, the shape a marker shift to a future number produces.
+        for block in blocks[5:7]:
+            reopened.append(block)
+        assert reopened.head().block_number == blocks[6].block_number
+
+        # Second reload: the truncate record now sits mid-journal and _load
+        # must mirror the live semantics to accept the fresh range after it.
+        final = JournalBlockStore(path)
+        assert len(final) == 2
+        assert [b.block_number for b in final] == [
+            blocks[5].block_number, blocks[6].block_number
+        ]
+        assert final.head().block_hash == blocks[6].block_hash
+        # The reloaded store is fully usable: contiguous appends continue,
+        # non-contiguous ones are still rejected.
+        final.append(blocks[7])
+        assert final.head().block_number == blocks[7].block_number
+        with pytest.raises(StorageError):
+            final.append(blocks[0])
+
     def test_restart_resumes_counters_and_lookups(self, tmp_path):
         store = JournalBlockStore(tmp_path / "resume.journal")
         chain = Blockchain(ChainConfig.paper_evaluation(), store=store)

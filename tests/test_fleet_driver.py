@@ -31,6 +31,8 @@ from repro.workloads import (
     FleetPolicy,
     LoginAuditWorkload,
     WorkloadRunStats,
+    derive_client_seed,
+    has_samples,
     latency_summary,
     percentile,
 )
@@ -110,6 +112,25 @@ class TestPercentileEstimator:
             "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
             "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
+
+    def test_empty_window_is_gated_by_has_samples_not_percentiles(self):
+        """The empty-window shape: ``p50/p95/p99 = 0.0`` with ``count = 0``
+        is indistinguishable from genuinely-zero latency by the percentile
+        values alone — ``has_samples`` is the gate every percentile
+        consumer must apply before comparing."""
+        empty = latency_summary([])
+        zeroish = latency_summary([0.0, 0.0])
+        # The ambiguity that motivates the gate: identical percentiles...
+        for key in ("p50", "p95", "p99", "mean", "min", "max"):
+            assert empty[key] == zeroish[key] == 0.0
+        # ...distinguished only by the sample count.
+        assert not has_samples(empty)
+        assert has_samples(zeroish)
+        assert has_samples(latency_summary([3.5]))
+        # Defensive shapes: non-mapping or countless inputs are "no data".
+        assert not has_samples(None)
+        assert not has_samples({})
+        assert not has_samples({"p50": 12.0})
 
     def test_out_of_range_levels_are_rejected(self):
         with pytest.raises(ValueError):
@@ -192,7 +213,7 @@ def run_stub_fleet(
             num_users=3,
             deletion_rate=0.0,
             idle_rate=0.0,
-            seed=seed + 7919 * client_index,
+            seed=derive_client_seed(seed, client_index),
         )
         for client_index in range(n_clients)
     ]

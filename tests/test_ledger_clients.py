@@ -155,6 +155,69 @@ class TestRemoteClient:
         assert not receipt.sealed
 
 
+class TestRemoteFailoverSweep:
+    """Every protocol op must survive a scheduled outage of its bound anchor.
+
+    Regression: PR 3 added write-path failover, but ``find_entry`` and
+    ``statistics`` kept talking to ``query_anchor_id`` directly and raised
+    ``LedgerError`` the moment that one replica dropped — even though any
+    converged replica answers reads identically.  This drives the full
+    protocol surface across a transport-scheduled outage of the bound
+    (query) anchor and requires every op to reach a surviving node.
+    """
+
+    def build(self):
+        from repro.network.kernel import EventKernel
+
+        kernel = EventKernel(seed=11)
+        simulator = NetworkSimulator(
+            anchor_count=3, config=paper_config(), kernel=kernel
+        )
+        # Bound to a replica: reads hit it first, writes forward from it.
+        ledger = simulator.ledger_client(simulator.anchor_ids[1])
+        return simulator, kernel, ledger
+
+    def test_all_ops_fail_over_across_a_scheduled_outage(self):
+        simulator, kernel, ledger = self.build()
+        kept = ledger.submit({"D": "keep", "K": "A", "S": "sig_A"}, "A")
+        target = ledger.submit({"D": "secret", "K": "A", "S": "sig_A"}, "A")
+        assert kept.ok and target.ok
+        simulator.settle()  # replicate everywhere before the outage
+        assert simulator.replicas_identical()
+
+        simulator.schedule_offline(simulator.anchor_ids[1], kernel.now + 5.0)
+        kernel.run_until(kernel.now + 10.0)
+        baseline_failovers = ledger.failovers
+
+        # Read path: raised LedgerError before the fix.
+        record = ledger.find_entry(target.reference)
+        assert record is not None and record.data["D"] == "secret"
+        stats = ledger.statistics()
+        assert stats["living_blocks"] >= 1
+
+        # Write path: forwarded through a surviving anchor.
+        deletion = ledger.request_deletion(target.reference, "A")
+        assert deletion.ok and deletion.approved
+        receipt = ledger.submit({"D": "after", "K": "A", "S": "sig_A"}, "A")
+        assert receipt.ok and receipt.sealed
+
+        assert ledger.failovers > baseline_failovers
+
+    def test_reads_raise_only_when_every_anchor_is_down(self):
+        simulator, kernel, ledger = self.build()
+        receipt = ledger.submit({"D": "x", "K": "A", "S": "sig_A"}, "A")
+        assert receipt.ok
+        simulator.settle()
+        for anchor_id in simulator.anchor_ids:
+            simulator.take_offline(anchor_id)
+        from repro.service import LedgerError
+
+        with pytest.raises(LedgerError):
+            ledger.find_entry(receipt.reference)
+        with pytest.raises(LedgerError):
+            ledger.statistics()
+
+
 class TestBaselineAdapter:
     def test_references_mirror_chain_numbering(self):
         chain_ledger = LocalLedgerClient(Blockchain(paper_config()))

@@ -375,3 +375,148 @@ class TestAntiEntropy:
         no_overlay = NetworkSimulator(anchor_count=2, kernel=kernel)
         with pytest.raises(ValueError):
             no_overlay.enable_anti_entropy()
+
+
+class TestPushPullDigests:
+    def test_ahead_receiver_pushes_its_digest_back(self):
+        """Push-pull: a stale replica that digests an up-to-date peer learns
+        of the newer head in the same round and pulls — no waiting for the
+        peer's own fan-out to select it."""
+        kernel = EventKernel(seed=11)
+        transport = InMemoryTransport(
+            LatencyModel(minimum_ms=5.0, maximum_ms=10.0, seed=11), kernel=kernel
+        )
+        _, nodes, ids = build_network(transport=transport)
+        client = ClientNode("ALPHA", transport)
+        kernel.schedule_at(10.0, lambda: client.submit_entry(ids[0], login("ALPHA")))
+        kernel.run_until(100.0)
+        # Hold one replica back, then let only *its* digest travel.
+        straggler = nodes[ids[2]]
+        straggler.chain = Blockchain(ChainConfig.paper_evaluation())
+        from repro.network.message import Message, MessageKind
+
+        def post_digest() -> None:
+            transport.post(
+                ids[0],
+                Message(
+                    kind=MessageKind.SYNC_DIGEST,
+                    sender=ids[2],
+                    payload={
+                        "head": straggler.chain.head.block_number,
+                        "head_hash": straggler.chain.head.block_hash,
+                        "genesis_marker": straggler.chain.genesis_marker,
+                    },
+                ),
+            )
+
+        kernel.schedule_at(120.0, post_digest)
+        kernel.run_until(400.0)
+        assert nodes[ids[0]].sync_stats["digests_pushed_back"] == 1
+        assert straggler.sync_stats["digests_behind"] == 1
+        assert straggler.chain.head.block_hash == nodes[ids[0]].chain.head.block_hash
+
+    def test_converged_replicas_never_ping_pong(self):
+        """Equal heads exchange digests without triggering any push-back."""
+        transport, nodes, ids = build_network()
+        from repro.network.message import Message, MessageKind
+
+        digest = Message(
+            kind=MessageKind.SYNC_DIGEST,
+            sender=ids[1],
+            payload={
+                "head": nodes[ids[1]].chain.head.block_number,
+                "head_hash": nodes[ids[1]].chain.head.block_hash,
+                "genesis_marker": nodes[ids[1]].chain.genesis_marker,
+            },
+        )
+        nodes[ids[0]].handle_message(digest)
+        assert nodes[ids[0]].sync_stats["digests_pushed_back"] == 0
+        assert nodes[ids[0]].sync_stats["digests_behind"] == 0
+
+
+class TestLoadAwareBootstrap:
+    def test_probe_returns_manifest_and_load_without_data(self):
+        transport, nodes, ids = build_network()
+        nodes[ids[0]].chain.add_entry_block(login("ALPHA"), "ALPHA")
+        from repro.sync import probe_snapshot_peer
+
+        probe = probe_snapshot_peer(transport, "rescue", ids[0])
+        assert probe is not None
+        assert probe.load == 0
+        assert probe.manifest.head_hash == nodes[ids[0]].chain.head.block_hash
+        assert nodes[ids[0]].sync_stats["snapshot_probes_served"] == 1
+        # The probe shipped no chunk data (that is its whole point).
+        served = transport.messages_of_kind(
+            __import__("repro.network.message", fromlist=["MessageKind"]).MessageKind.SNAPSHOT_CHUNK
+        )
+        assert served and "data" not in served[-1].payload
+
+    def test_ranking_prefers_near_and_lightly_loaded_peers(self):
+        transport, nodes, ids = build_network()
+        from repro.sync import rank_bootstrap_peers
+
+        # Load one peer: serving chunks bumps its advertised load.
+        nodes[ids[1]].sync_stats["chunks_served"] = 9
+        ranked = rank_bootstrap_peers(transport, "rescue", ids)
+        # Synchronous transport: every peer is equally near (rtt 0), so load
+        # then peer id decide — the loaded peer ranks last.
+        assert [probe.peer_id for probe in ranked] == [ids[0], ids[2], ids[1]]
+        assert ranked[-1].load == 9
+
+    def test_unreachable_peers_drop_out_of_the_ranking(self):
+        transport, nodes, ids = build_network()
+        from repro.sync import rank_bootstrap_peers
+
+        transport.set_offline(ids[1])
+        ranked = rank_bootstrap_peers(transport, "rescue", ids)
+        assert [probe.peer_id for probe in ranked] == [ids[0], ids[2]]
+
+    def test_striped_fetch_spreads_chunks_across_donors(self):
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        from repro.sync import fetch_snapshot_striped
+
+        donors = [peer for peer in ids if peer != straggler.node_id]
+        report = fetch_snapshot_striped(
+            transport, straggler.node_id, donors, chunk_size=256
+        )
+        assert report.succeeded, report.reason
+        assert sorted(report.donors) == sorted(donors)
+        assert report.chunks_fetched == report.manifest.total_chunks > 1
+        # Every donor genuinely served chunks (the replicas share one head).
+        for donor in donors:
+            assert nodes[donor].sync_stats["chunks_served"] > 0
+
+    def test_striped_fetch_prefers_the_most_advanced_head(self):
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        from repro.sync import fetch_snapshot_striped
+
+        # Hold one donor at a stale head: it must not join the donor set.
+        stale = Blockchain(ChainConfig.paper_evaluation())
+        stale.add_entry_block(login("ALPHA", "stale"), "ALPHA")
+        nodes[ids[1]].adopt_chain(stale)
+        report = fetch_snapshot_striped(
+            transport, straggler.node_id, [ids[0], ids[1]], chunk_size=256
+        )
+        assert report.succeeded, report.reason
+        assert report.donors == [ids[0]]
+        assert report.manifest.head_hash == producer.chain.head.block_hash
+
+    def test_bootstrap_from_best_adopts_the_snapshot(self):
+        transport, nodes, ids = build_network()
+        producer, straggler = isolate_across_marker_shift(transport, nodes, ids)
+        report = straggler.bootstrap_from_best(chunk_size=512)
+        assert report.succeeded, report.reason
+        assert straggler.chain.head.block_hash == producer.chain.head.block_hash
+        assert straggler.sync_stats["bootstraps"] == 1
+
+    def test_striped_fetch_with_no_reachable_peers_reports_failure(self):
+        transport, nodes, ids = build_network()
+        from repro.sync import fetch_snapshot_striped
+
+        for peer in ids[:2]:
+            transport.set_offline(peer)
+        report = fetch_snapshot_striped(transport, ids[2], ids[:2])
+        assert not report.succeeded
+        assert "no bootstrap peer answered" in report.reason

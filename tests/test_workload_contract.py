@@ -249,6 +249,43 @@ class TestFleetContract:
             assert closed_stats[counter] == client_stats[counter], counter
 
 
+class TestClientSeedIndependence:
+    """Cross-fleet sub-stream independence of :func:`derive_client_seed`.
+
+    Regression for the additive prime stride, under which client ``i`` of
+    fleet seed ``s`` shared its sub-seed with client ``i+1`` of fleet seed
+    ``s - 7919`` — exactly the collision a sharded deployment deriving
+    per-shard fleet seeds from neighbouring base seeds would hit.
+    """
+
+    def test_client_zero_keeps_the_fleet_seed(self):
+        for seed in (0, 7, 11, 7919, 10**9):
+            assert derive_client_seed(seed, 0) == seed
+
+    def test_old_stride_collision_is_gone(self):
+        # Under the stride: derive(s, i+1) == derive(s - 7919, i) + 7919*...
+        # i.e. derive(7919, 1) == derive(0, 2) == 2*7919.  Pin both gone.
+        assert derive_client_seed(7919, 1) != derive_client_seed(0, 2)
+        assert derive_client_seed(15838, 1) != derive_client_seed(7919, 2)
+
+    def test_no_collisions_across_a_seed_index_grid(self):
+        seeds = [0, 1, 7, 23, 7919, 2 * 7919, 123456]
+        derived: dict[int, tuple[int, int]] = {}
+        for seed in seeds:
+            for client_index in range(1, 64):
+                value = derive_client_seed(seed, client_index)
+                assert value not in derived, (
+                    f"derive_client_seed collision: ({seed}, {client_index}) "
+                    f"and {derived[value]} both map to {value}"
+                )
+                derived[value] = (seed, client_index)
+
+    def test_derivation_is_deterministic_and_rejects_negative_indices(self):
+        assert derive_client_seed(42, 5) == derive_client_seed(42, 5)
+        with pytest.raises(ValueError):
+            derive_client_seed(42, -1)
+
+
 def test_driver_survives_lost_tick_responses_on_a_lossy_transport():
     """Regression: a lost IDLE_TICK response must not abort the timeline.
 
